@@ -1,0 +1,69 @@
+#ifndef RTR_BENCH_BENCH_COMMON_H_
+#define RTR_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the experiment-reproduction binaries (one binary per
+// table/figure of the paper; see DESIGN.md §3).
+//
+// Environment knobs:
+//   RTR_QUERIES      — test queries per effectiveness task   (default 120)
+//   RTR_DEV_QUERIES  — development queries for beta tuning   (default 80)
+//   RTR_EFF_QUERIES  — queries per efficiency measurement    (default 30)
+//   RTR_SCALE_PAPERS — paper count of the "full" BibNet      (default 40000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datasets/bibnet.h"
+#include "datasets/qlog.h"
+#include "util/logging.h"
+
+namespace rtr::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+inline int NumTestQueries() { return EnvInt("RTR_QUERIES", 120); }
+inline int NumDevQueries() { return EnvInt("RTR_DEV_QUERIES", 80); }
+inline int NumEfficiencyQueries() { return EnvInt("RTR_EFF_QUERIES", 30); }
+
+// The effectiveness-scale BibNet (≈17k nodes / 340k arcs, the counterpart
+// of the paper's hand-picked 28-venue subgraph).
+inline datasets::BibNet MakeEffectivenessBibNet() {
+  datasets::BibNetConfig config;  // library defaults target this scale
+  return datasets::BibNet::Generate(config).value();
+}
+
+// The efficiency-scale BibNet (the counterpart of the paper's full graph),
+// used by Figs. 11-13.
+inline datasets::BibNet MakeFullBibNet() {
+  datasets::BibNetConfig config;
+  config.num_papers = EnvInt("RTR_SCALE_PAPERS", 40000);
+  config.num_authors = config.num_papers / 4;
+  return datasets::BibNet::Generate(config).value();
+}
+
+inline datasets::QLog MakeEffectivenessQLog() {
+  datasets::QLogConfig config;
+  return datasets::QLog::Generate(config).value();
+}
+
+inline datasets::QLog MakeFullQLog() {
+  datasets::QLogConfig config;
+  config.num_concepts = EnvInt("RTR_SCALE_CONCEPTS", 12000);
+  config.num_portal_urls = 80;
+  return datasets::QLog::Generate(config).value();
+}
+
+inline void PrintBanner(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rtr::bench
+
+#endif  // RTR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Reproduces Fig. 13: rate of growth of snapshot size vs active-set size vs
+// query time, each normalized by its value on the first snapshot. The
+// paper's claim (Sect. V-B1): the active set — and hence query time — grows
+// much slower than the graph, O(|V|^{2(a-1)}) vs O(|V|^a).
+#include <cstdio>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "snapshot_experiment.h"
+
+namespace {
+
+using rtr::bench::SnapshotPoint;
+using rtr::eval::TablePrinter;
+
+void PrintGrowth(const char* title,
+                 const std::vector<SnapshotPoint>& points) {
+  std::printf("\n%s (all series normalized to the first snapshot)\n", title);
+  TablePrinter table(
+      {"Timestamp", "snapshot", "active set", "query time"});
+  const SnapshotPoint& base = points.front();
+  for (const SnapshotPoint& point : points) {
+    table.AddRow(
+        {point.label,
+         TablePrinter::FormatDouble(
+             static_cast<double>(point.snapshot_bytes) / base.snapshot_bytes,
+             2),
+         TablePrinter::FormatDouble(
+             point.active_set_mb.mean / base.active_set_mb.mean, 2),
+         TablePrinter::FormatDouble(point.query_ms.mean / base.query_ms.mean,
+                                    2)});
+  }
+  table.Print();
+  double snapshot_growth = static_cast<double>(points.back().snapshot_bytes) /
+                           base.snapshot_bytes;
+  double active_growth =
+      points.back().active_set_mb.mean / base.active_set_mb.mean;
+  std::printf("  total growth: snapshot x%.1f, active set x%.1f -> active "
+              "set grows %s\n",
+              snapshot_growth, active_growth,
+              active_growth < snapshot_growth ? "slower (as the paper finds)"
+                                              : "NOT slower (unexpected)");
+}
+
+}  // namespace
+
+int main() {
+  rtr::bench::PrintBanner(
+      "Fig. 13 — rate of growth: snapshot vs active set vs query time",
+      "Derived from the Fig. 12 experiment; K = 10, eps = 0.01.");
+  const int num_queries = rtr::bench::NumEfficiencyQueries();
+  std::printf("%d queries per snapshot\n", num_queries);
+
+  std::vector<SnapshotPoint> bibnet =
+      rtr::bench::RunBibNetSnapshots(num_queries);
+  PrintGrowth("(a) BibNet snapshots", bibnet);
+  std::vector<SnapshotPoint> qlog = rtr::bench::RunQLogSnapshots(num_queries);
+  PrintGrowth("(b) QLog snapshots", qlog);
+  return 0;
+}

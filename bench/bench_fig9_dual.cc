@@ -1,0 +1,157 @@
+// Reproduces Fig. 9: NDCG@{5,10,20} of RoundTripRank+ (beta tuned on
+// development queries) against the existing dual-sensed baselines with
+// their fixed original combinations: TCommute (T=10), ObjSqrtInv (d=0.25),
+// Harmonic and Arithmetic means of F-Rank and T-Rank.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/round_trip_rank.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "ranking/combinators.h"
+#include "ranking/objectrank.h"
+#include "ranking/tcommute.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using rtr::datasets::EvalQuery;
+using rtr::datasets::EvalTaskSet;
+using rtr::eval::TablePrinter;
+using rtr::ranking::ProximityMeasure;
+
+constexpr size_t kCutoffs[] = {5, 10, 20};
+
+std::vector<std::unique_ptr<ProximityMeasure>> MakeMeasures(
+    const rtr::Graph& g, double rtr_beta) {
+  std::vector<std::unique_ptr<ProximityMeasure>> measures;
+  auto scorer = std::make_shared<rtr::ranking::FTScorer>(g);
+  measures.push_back(
+      rtr::core::MakeRoundTripRankPlusMeasure(scorer, rtr_beta));
+  measures.push_back(rtr::ranking::MakeTCommuteMeasure(g));
+  measures.push_back(rtr::ranking::MakeObjSqrtInvMeasure(g));
+  measures.push_back(rtr::ranking::MakeHarmonicMeasure(scorer));
+  measures.push_back(rtr::ranking::MakeArithmeticMeasure(scorer));
+  return measures;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : values) sum += x;
+  return sum / values.size();
+}
+
+}  // namespace
+
+int main() {
+  rtr::bench::PrintBanner(
+      "Fig. 9 — RoundTripRank+ vs existing dual-sensed baselines",
+      "NDCG@{5,10,20}; RoundTripRank+ beta tuned per task on development "
+      "queries\n(non-overlapping with test queries); baselines use their "
+      "original fixed trade-off.");
+  const int num_test = rtr::bench::NumTestQueries();
+  const int num_dev = rtr::bench::NumDevQueries();
+  rtr::WallTimer timer;
+
+  rtr::datasets::BibNet bibnet = rtr::bench::MakeEffectivenessBibNet();
+  rtr::datasets::QLog qlog = rtr::bench::MakeEffectivenessQLog();
+  std::vector<EvalTaskSet> tasks;
+  tasks.push_back(bibnet.MakeAuthorTask(num_test, num_dev, 91).value());
+  tasks.push_back(bibnet.MakeVenueTask(num_test, num_dev, 92).value());
+  tasks.push_back(qlog.MakeRelevantUrlTask(num_test, num_dev, 93).value());
+  tasks.push_back(
+      qlog.MakeEquivalentPhraseTask(num_test, num_dev, 94).value());
+
+  const char* measure_names[] = {"RoundTripRank+", "TCommute", "ObjSqrtInv",
+                                 "Harmonic", "Arithmetic"};
+  const size_t num_measures = 5;
+
+  // Tune RoundTripRank+ per task on the dev queries.
+  std::vector<double> tuned_betas;
+  for (const EvalTaskSet& task : tasks) {
+    auto scorer = std::make_shared<rtr::ranking::FTScorer>(task.graph);
+    double beta = rtr::eval::TuneBeta(
+        task,
+        [&scorer](double b) {
+          return rtr::core::MakeRoundTripRankPlusMeasure(scorer, b);
+        },
+        rtr::eval::DefaultBetaGrid());
+    tuned_betas.push_back(beta);
+    std::printf("%-28s tuned beta* = %.1f\n", task.name.c_str(), beta);
+  }
+
+  // ndcg[task][measure][cutoff][query]
+  std::vector<std::vector<std::vector<std::vector<double>>>> ndcg;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const EvalTaskSet& task = tasks[t];
+    std::printf("evaluating %s ...\n", task.name.c_str());
+    auto measures = MakeMeasures(task.graph, tuned_betas[t]);
+    std::vector<std::vector<std::vector<double>>> task_ndcg(
+        num_measures, std::vector<std::vector<double>>(3));
+    for (const EvalQuery& query : task.test_queries) {
+      for (size_t m = 0; m < measures.size(); ++m) {
+        std::vector<double> scores = measures[m]->Score(query.query_nodes);
+        std::vector<rtr::NodeId> ranked = rtr::eval::FilteredRanking(
+            task.graph, scores, query.query_nodes, task.target_type, 20);
+        for (size_t c = 0; c < 3; ++c) {
+          task_ndcg[m][c].push_back(
+              rtr::eval::NdcgAtK(ranked, query.ground_truth, kCutoffs[c]));
+        }
+      }
+    }
+    ndcg.push_back(std::move(task_ndcg));
+  }
+
+  std::vector<std::string> header = {"Measure"};
+  for (const EvalTaskSet& task : tasks) {
+    for (size_t k : kCutoffs) {
+      header.push_back(task.name.substr(0, 6) + "@" + std::to_string(k));
+    }
+  }
+  for (size_t k : kCutoffs) header.push_back("Avg@" + std::to_string(k));
+  std::printf("\n");
+  TablePrinter table(header);
+  for (size_t m = 0; m < num_measures; ++m) {
+    std::vector<std::string> row = {measure_names[m]};
+    double avg[3] = {0, 0, 0};
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      for (size_t c = 0; c < 3; ++c) {
+        double mean = Mean(ndcg[t][m][c]);
+        avg[c] += mean / tasks.size();
+        row.push_back(TablePrinter::FormatDouble(mean, 4));
+      }
+    }
+    for (size_t c = 0; c < 3; ++c) {
+      row.push_back(TablePrinter::FormatDouble(avg[c], 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\nPaired two-tail t-tests (pooled per-query NDCG@5, "
+              "RoundTripRank+ vs baseline):\n");
+  std::vector<double> rtr_pooled;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    rtr_pooled.insert(rtr_pooled.end(), ndcg[t][0][0].begin(),
+                      ndcg[t][0][0].end());
+  }
+  for (size_t m = 1; m < num_measures; ++m) {
+    std::vector<double> pooled;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      pooled.insert(pooled.end(), ndcg[t][m][0].begin(), ndcg[t][m][0].end());
+    }
+    rtr::PairedTTestResult test = rtr::PairedTTest(rtr_pooled, pooled);
+    std::printf("  vs %-12s mean diff %+.4f, t = %6.2f, p %s0.01 %s\n",
+                measure_names[m], test.mean_difference, test.t_statistic,
+                test.p_value < 0.01 ? "<" : ">=",
+                test.SignificantAt(0.01) ? "(significant)" : "");
+  }
+  std::printf("\nShape check (paper): RoundTripRank+ best in every column.  "
+              "elapsed %.1fs\n",
+              timer.ElapsedSeconds());
+  return 0;
+}

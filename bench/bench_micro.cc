@@ -1,0 +1,129 @@
+// Kernel microbenchmarks (google-benchmark): the building blocks behind the
+// paper's query times — CSR construction, power iteration, BCA pushes,
+// Stage-II refinement sweeps, and end-to-end 2SBound.
+#include <benchmark/benchmark.h>
+
+#include "core/bca.h"
+#include "core/two_stage.h"
+#include "core/twosbound.h"
+#include "graph/builder.h"
+#include "ranking/pagerank.h"
+#include "util/random.h"
+
+namespace {
+
+using rtr::Graph;
+using rtr::GraphBuilder;
+using rtr::NodeId;
+
+Graph MakeGraph(size_t n, size_t extra_edges, uint64_t seed) {
+  rtr::Rng rng(seed);
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.AddUndirectedEdge(v, static_cast<NodeId>(rng.NextUint64(v)),
+                        0.5 + rng.NextDouble());
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextUint64(n));
+    NodeId v = static_cast<NodeId>(rng.NextUint64(n));
+    if (u != v) b.AddUndirectedEdge(u, v, 0.5 + rng.NextDouble());
+  }
+  return b.Build().value();
+}
+
+const Graph& SharedGraph() {
+  static const Graph* graph = new Graph(MakeGraph(20000, 80000, 7));
+  return *graph;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Graph g = MakeGraph(n, n * 4, 11);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * 10));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000);
+
+void BM_FRankPowerIteration(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::ranking::WalkParams params;
+  params.tolerance = 1e-10;
+  for (auto _ : state) {
+    std::vector<double> f = rtr::ranking::FRank(g, {0}, params);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_FRankPowerIteration);
+
+void BM_TRankPowerIteration(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::ranking::WalkParams params;
+  params.tolerance = 1e-10;
+  for (auto _ : state) {
+    std::vector<double> t = rtr::ranking::TRank(g, {0}, params);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_TRankPowerIteration);
+
+void BM_BcaProcessBest(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  for (auto _ : state) {
+    rtr::core::Bca bca(g, {0}, 0.25);
+    for (int round = 0; round < 20; ++round) {
+      if (bca.ProcessBest(100) == 0) break;
+    }
+    benchmark::DoNotOptimize(bca.total_residual());
+  }
+}
+BENCHMARK(BM_BcaProcessBest);
+
+void BM_FBounderExpandRefine(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  const bool stage2 = state.range(0) != 0;
+  for (auto _ : state) {
+    rtr::core::FBounderOptions options;
+    options.stage2 = stage2;
+    rtr::core::FRankBounder bounder(g, {0}, options);
+    for (int round = 0; round < 10; ++round) {
+      if (!bounder.ExpandAndRefine()) break;
+    }
+    benchmark::DoNotOptimize(bounder.UnseenUpper());
+  }
+}
+BENCHMARK(BM_FBounderExpandRefine)->Arg(0)->Arg(1);
+
+void BM_TBounderExpandRefine(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  for (auto _ : state) {
+    rtr::core::TBounderOptions options;
+    rtr::core::TRankBounder bounder(g, {0}, options);
+    for (int round = 0; round < 10; ++round) {
+      if (!bounder.ExpandAndRefine()) break;
+    }
+    benchmark::DoNotOptimize(bounder.UnseenUpper());
+  }
+}
+BENCHMARK(BM_TBounderExpandRefine);
+
+void BM_TopK2SBound(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::core::TopKParams params;
+  params.k = 10;
+  params.epsilon = 0.01 * static_cast<double>(state.range(0));
+  NodeId q = 0;
+  for (auto _ : state) {
+    auto result = rtr::core::TopKRoundTripRank(g, {q}, params);
+    benchmark::DoNotOptimize(result.value().entries.size());
+    q = (q + 37) % static_cast<NodeId>(g.num_nodes());
+  }
+}
+BENCHMARK(BM_TopK2SBound)->Arg(1)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

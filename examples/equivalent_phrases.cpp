@@ -1,0 +1,63 @@
+// Equivalent-search discovery (the paper's Task D / Task 4): given a search
+// phrase on a query-log click graph, find the phrases expressing the same
+// concept. Equivalence is inherently a specificity-leaning task (Fig. 8:
+// beta* > 0.5), which this example demonstrates by comparing trade-offs.
+//
+//   $ ./examples/equivalent_phrases
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/round_trip_rank.h"
+#include "datasets/qlog.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "ranking/pagerank.h"
+
+int main() {
+  rtr::datasets::QLogConfig config;
+  config.num_concepts = 1500;
+  rtr::datasets::QLog qlog = rtr::datasets::QLog::Generate(config).value();
+  const rtr::Graph& graph = qlog.graph();
+  std::printf("synthetic query log: %zu nodes, %zu arcs\n\n",
+              graph.num_nodes(), graph.num_arcs());
+
+  // Pick a few concepts with at least three phrase variants.
+  std::vector<int> demo_concepts;
+  for (size_t c = 0; c < qlog.concepts().size() && demo_concepts.size() < 3;
+       ++c) {
+    if (qlog.concepts()[c].phrases.size() >= 3) {
+      demo_concepts.push_back(static_cast<int>(c));
+    }
+  }
+
+  auto scorer = std::make_shared<rtr::ranking::FTScorer>(graph);
+  const double betas[] = {0.1, 0.5, 0.9};
+  for (int c : demo_concepts) {
+    const rtr::datasets::QLog::Concept& cls = qlog.concepts()[c];
+    rtr::NodeId query = cls.phrases[0];
+    std::vector<rtr::NodeId> truth(cls.phrases.begin() + 1,
+                                   cls.phrases.end());
+    std::printf("concept %d: query phrase %u, %zu equivalent variants\n", c,
+                query, truth.size());
+    for (double beta : betas) {
+      auto measure = rtr::core::MakeRoundTripRankPlusMeasure(scorer, beta);
+      std::vector<double> scores = measure->Score({query});
+      std::vector<rtr::NodeId> ranked = rtr::eval::FilteredRanking(
+          graph, scores, {query}, qlog.phrase_type(), 5);
+      double ndcg = rtr::eval::NdcgAtK(ranked, truth, 5);
+      std::printf("  beta = %.1f  top-5:", beta);
+      for (rtr::NodeId v : ranked) {
+        bool hit = false;
+        for (rtr::NodeId t : truth) hit |= (t == v);
+        std::printf(" %u%s", v, hit ? "*" : "");
+      }
+      std::printf("   NDCG@5 = %.3f\n", ndcg);
+    }
+    std::printf("  (* = true equivalent phrase)\n\n");
+  }
+  std::printf("Specificity-biased trade-offs tend to surface the true "
+              "variants;\nimportance bias drifts to popular but unrelated "
+              "phrases.\n");
+  return 0;
+}

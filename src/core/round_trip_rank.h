@@ -1,0 +1,69 @@
+#ifndef RTR_CORE_ROUND_TRIP_RANK_H_
+#define RTR_CORE_ROUND_TRIP_RANK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "ranking/measure.h"
+#include "ranking/pagerank.h"
+
+namespace rtr::core {
+
+// RoundTripRank (Definition 2): given that a surfer starting at q completes
+// a round trip (L + L' geometric steps returning to q), the probability that
+// the trip's target — the node after the first L steps — is v. By
+// Proposition 2 this decomposes with rank equivalence into
+//
+//   r(q, v) ∝ f(q, v) * t(q, v),
+//
+// the product of reachability from the query (importance) and reachability
+// back to the query (specificity). The measure shares the (f, t) power
+// iterations of `scorer` with any other measure built on it.
+std::unique_ptr<ranking::ProximityMeasure> MakeRoundTripRankMeasure(
+    std::shared_ptr<ranking::FTScorer> scorer);
+
+// RoundTripRank+ (Definition 3 / Eq. 12): hybrid random surfers shortcut
+// either leg of the round trip; the composition reduces to one parameter,
+// the specificity bias beta in [0, 1]:
+//
+//   r_beta(q, v) = f(q, v)^(1-beta) * t(q, v)^beta.
+//
+// beta = 0 reduces to F-Rank, beta = 1 to T-Rank, beta = 0.5 to (the ranking
+// of) RoundTripRank.
+std::unique_ptr<ranking::ProximityMeasure> MakeRoundTripRankPlusMeasure(
+    std::shared_ptr<ranking::FTScorer> scorer, double beta,
+    std::string name = "RoundTripRank+");
+
+// Exact target distribution of *constant-length* round trips, as in the
+// paper's toy example (Fig. 4, L = L' = 2):
+//
+//   score(v) = p(W_L = v, W_{L+L'} = q | W_0 = q)
+//            = (M^L)[q][v] * (M^{L'})[v][q],
+//
+// proportional to RoundTripRank with constant walk lengths. Computed with
+// two vector-matrix power sequences; O((L+L') * E).
+std::vector<double> ConstantLengthRoundTripScores(const Graph& g, NodeId q,
+                                                  int steps_out,
+                                                  int steps_back);
+
+// Monte-Carlo simulation of Definition 2: sample round trips (L, L' ~
+// Geo(alpha)) from q, keep those that return to q, and histogram the
+// targets. Used to validate the decomposition (Proposition 2) empirically.
+struct RoundTripSimParams {
+  double alpha = 0.25;
+  int num_trips = 200000;
+  uint64_t seed = 613;  // first page of the paper
+};
+
+// Returns the empirical target distribution (sums to 1 over all nodes,
+// conditioned on completing a round trip). All-zero if no trip completed.
+std::vector<double> SimulateRoundTripRank(const Graph& g, NodeId q,
+                                          const RoundTripSimParams& params);
+
+}  // namespace rtr::core
+
+#endif  // RTR_CORE_ROUND_TRIP_RANK_H_

@@ -1,0 +1,262 @@
+#include "core/two_stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rtr::core {
+namespace {
+
+std::vector<double> TeleportVector(const Graph& g, const Query& query,
+                                   double alpha) {
+  CHECK(!query.empty());
+  std::vector<double> teleport(g.num_nodes(), 0.0);
+  double mass = alpha / static_cast<double>(query.size());
+  for (NodeId q : query) {
+    CHECK_LT(q, g.num_nodes());
+    teleport[q] += mass;
+  }
+  return teleport;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FRankBounder
+// ---------------------------------------------------------------------------
+
+FRankBounder::FRankBounder(const Graph& g, const Query& query,
+                           const FBounderOptions& options)
+    : graph_(g),
+      query_(query),
+      options_(options),
+      bca_(g, query, options.alpha),
+      teleport_(TeleportVector(g, query, options.alpha)),
+      lower_(g.num_nodes(), 0.0),
+      upper_(g.num_nodes(), 1.0) {
+  CHECK_GT(options.pick_per_expansion, 0);
+}
+
+bool FRankBounder::Expand() {
+  if (exhausted()) return false;
+  return bca_.ProcessBest(options_.pick_per_expansion) > 0;
+}
+
+void FRankBounder::Refine() {
+  InitializeBounds();
+  if (options_.stage2) RefineStage2();
+}
+
+void FRankBounder::InitializeBounds() {
+  // Nodes seen for the first time since the last refinement were covered by
+  // the previous unseen upper bound; they inherit it so their individual
+  // bound never exceeds the bound that already applied to them.
+  const std::vector<NodeId>& seen = bca_.seen();
+  for (size_t i = initialized_count_; i < seen.size(); ++i) {
+    upper_[seen[i]] = std::min(upper_[seen[i]], unseen_upper_);
+  }
+  initialized_count_ = seen.size();
+
+  double fresh = options_.paper_unseen_bound ? bca_.UnseenUpperBound()
+                                             : bca_.GuptaUnseenUpperBound();
+  unseen_upper_ = std::min(unseen_upper_, fresh);
+  const std::vector<double>& rho = bca_.rho();
+  for (NodeId v : seen) {
+    lower_[v] = std::max(lower_[v], rho[v]);
+    upper_[v] = std::min(upper_[v], rho[v] + unseen_upper_);
+    // Bounds must stay consistent even under fp noise.
+    upper_[v] = std::max(upper_[v], lower_[v]);
+  }
+}
+
+void FRankBounder::RefineStage2() {
+  const double one_minus_alpha = 1.0 - options_.alpha;
+  const std::vector<NodeId>& nodes = bca_.seen();
+  for (int sweep = 0; sweep < options_.max_refine_sweeps; ++sweep) {
+    double change = 0.0;
+    for (NodeId v : nodes) {
+      double lo_sum = 0.0;
+      double up_sum = 0.0;
+      for (const InArc& arc : graph_.in_arcs(v)) {
+        if (IsSeen(arc.source)) {
+          lo_sum += arc.prob * lower_[arc.source];
+          up_sum += arc.prob * upper_[arc.source];
+        } else {
+          up_sum += arc.prob * unseen_upper_;
+        }
+      }
+      double lo = teleport_[v] + one_minus_alpha * lo_sum;
+      double up = teleport_[v] + one_minus_alpha * up_sum;
+      if (lo > lower_[v]) {
+        change += lo - lower_[v];
+        lower_[v] = lo;
+      }
+      if (up < upper_[v]) {
+        change += upper_[v] - up;
+        upper_[v] = up;
+      }
+      if (upper_[v] < lower_[v]) upper_[v] = lower_[v];  // fp guard
+    }
+    if (change < options_.refine_tolerance) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TRankBounder
+// ---------------------------------------------------------------------------
+
+TRankBounder::TRankBounder(const Graph& g, const Query& query,
+                           const TBounderOptions& options)
+    : graph_(g),
+      query_(query),
+      options_(options),
+      in_seen_(g.num_nodes(), false),
+      teleport_(TeleportVector(g, query, options.alpha)),
+      lower_(g.num_nodes(), 0.0),
+      upper_(g.num_nodes(), 1.0),
+      unseen_in_count_(g.num_nodes(), 0) {
+  CHECK_GT(options.pick_per_expansion, 0);
+  // Stage I, first expansion (Sect. V-A3): S_t = {q}, lower = alpha * I,
+  // upper = 1, unseen upper via Eq. 22.
+  for (NodeId q : query_) {
+    if (in_seen_[q]) continue;
+    in_seen_[q] = true;
+    seen_.push_back(q);
+    lower_[q] = teleport_[q];
+  }
+  for (NodeId q : seen_) {
+    int outside = 0;
+    for (const InArc& arc : graph_.in_arcs(q)) {
+      if (!in_seen_[arc.source]) ++outside;
+    }
+    unseen_in_count_[q] = outside;
+    if (outside > 0) {
+      ++border_count_;
+      border_list_.push_back(q);
+    }
+  }
+  RecomputeUnseenUpper();
+}
+
+void TRankBounder::AddNode(NodeId v, double upper_init) {
+  DCHECK(!in_seen_[v]);
+  in_seen_[v] = true;
+  seen_.push_back(v);
+  lower_[v] = teleport_[v] > 0.0 ? teleport_[v] : 0.0;
+  upper_[v] = upper_init;
+}
+
+void TRankBounder::CompactBorderList() {
+  // Border membership is monotone: once unseen_in_count hits zero it stays
+  // zero, so stale entries can simply be dropped.
+  size_t keep = 0;
+  for (NodeId v : border_list_) {
+    if (unseen_in_count_[v] > 0) border_list_[keep++] = v;
+  }
+  border_list_.resize(keep);
+}
+
+bool TRankBounder::Expand() {
+  if (border_count_ == 0) return false;
+  CompactBorderList();
+  DCHECK_EQ(border_list_.size(), border_count_);
+
+  // Pick up to m border nodes with the largest upper bounds.
+  size_t count =
+      std::min<size_t>(options_.pick_per_expansion, border_list_.size());
+  std::partial_sort(
+      border_list_.begin(), border_list_.begin() + count, border_list_.end(),
+      [this](NodeId a, NodeId b) { return upper_[a] > upper_[b]; });
+  std::vector<NodeId> picked(border_list_.begin(),
+                             border_list_.begin() + count);
+
+  // Bring all in-neighbors of the picked border nodes into S_t.
+  std::vector<NodeId> fresh;
+  std::unordered_set<NodeId> pending;
+  for (NodeId b : picked) {
+    for (const InArc& arc : graph_.in_arcs(b)) {
+      if (!in_seen_[arc.source] && pending.insert(arc.source).second) {
+        fresh.push_back(arc.source);
+      }
+    }
+  }
+  // Decrement the unseen-in counters of previously seen nodes that gain a
+  // newly seen in-neighbor.
+  for (NodeId u : fresh) {
+    for (const OutArc& arc : graph_.out_arcs(u)) {
+      if (in_seen_[arc.target]) {
+        if (--unseen_in_count_[arc.target] == 0) --border_count_;
+      }
+    }
+  }
+  double upper_init = unseen_upper_;  // valid: these nodes were unseen
+  for (NodeId u : fresh) AddNode(u, upper_init);
+  for (NodeId u : fresh) {
+    int outside = 0;
+    for (const InArc& arc : graph_.in_arcs(u)) {
+      if (!in_seen_[arc.source]) ++outside;
+    }
+    unseen_in_count_[u] = outside;
+    if (outside > 0) {
+      ++border_count_;
+      border_list_.push_back(u);
+    }
+  }
+  return true;
+}
+
+void TRankBounder::Refine() {
+  RecomputeUnseenUpper();
+  RefineSweeps(options_.stage2_fixpoint ? options_.max_refine_sweeps : 1);
+}
+
+void TRankBounder::RefineSweeps(int sweeps) {
+  const double one_minus_alpha = 1.0 - options_.alpha;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double change = 0.0;
+    for (NodeId v : seen_) {
+      double lo_sum = 0.0;
+      double up_sum = 0.0;
+      for (const OutArc& arc : graph_.out_arcs(v)) {
+        if (in_seen_[arc.target]) {
+          lo_sum += arc.prob * lower_[arc.target];
+          up_sum += arc.prob * upper_[arc.target];
+        } else {
+          up_sum += arc.prob * unseen_upper_;
+        }
+      }
+      double lo = teleport_[v] + one_minus_alpha * lo_sum;
+      double up = teleport_[v] + one_minus_alpha * up_sum;
+      if (lo > lower_[v]) {
+        change += lo - lower_[v];
+        lower_[v] = lo;
+      }
+      if (up < upper_[v]) {
+        change += upper_[v] - up;
+        upper_[v] = up;
+      }
+      if (upper_[v] < lower_[v]) upper_[v] = lower_[v];  // fp guard
+    }
+    RecomputeUnseenUpper();
+    if (change < options_.refine_tolerance) break;
+  }
+}
+
+void TRankBounder::RecomputeUnseenUpper() {
+  // Eq. 22: reaching q from outside must first enter through a border node,
+  // costing at least one non-teleporting step.
+  if (border_count_ == 0) {
+    unseen_upper_ = 0.0;
+    return;
+  }
+  double best = 0.0;
+  for (NodeId v : border_list_) {
+    if (unseen_in_count_[v] > 0) best = std::max(best, upper_[v]);
+  }
+  double fresh = (1.0 - options_.alpha) * best;
+  unseen_upper_ = std::min(unseen_upper_, fresh);
+}
+
+}  // namespace rtr::core

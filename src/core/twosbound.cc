@@ -1,0 +1,233 @@
+#include "core/twosbound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ranking/pagerank.h"
+#include "util/logging.h"
+
+namespace rtr::core {
+namespace {
+
+// Builds the scheme-specific bounder options.
+FBounderOptions MakeFOptions(const TopKParams& params) {
+  FBounderOptions options;
+  options.alpha = params.alpha;
+  options.pick_per_expansion = params.m_f;
+  bool weakened = params.scheme == TopKScheme::kGupta ||
+                  params.scheme == TopKScheme::kGPlusS;
+  options.paper_unseen_bound = !weakened;
+  options.stage2 = !weakened;
+  return options;
+}
+
+TBounderOptions MakeTOptions(const TopKParams& params) {
+  TBounderOptions options;
+  options.alpha = params.alpha;
+  options.pick_per_expansion = params.m_t;
+  bool weakened = params.scheme == TopKScheme::kSarkar ||
+                  params.scheme == TopKScheme::kGPlusS;
+  options.stage2_fixpoint = !weakened;
+  return options;
+}
+
+TopKResult NaiveTopK(const Graph& g, const Query& query,
+                     const TopKParams& params) {
+  std::vector<double> scores =
+      ExactRoundTripRankScores(g, query, params.alpha);
+  std::vector<NodeId> ids(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ids[v] = v;
+  size_t keep = std::min<size_t>(params.k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  TopKResult result;
+  result.converged = true;
+  for (size_t i = 0; i < keep; ++i) {
+    result.entries.push_back({ids[i], scores[ids[i]], scores[ids[i]]});
+  }
+  // The naive method's working set is the whole graph.
+  result.active_nodes = g.num_nodes();
+  result.active_arcs = g.num_arcs();
+  result.active_set_bytes = g.MemoryBytes();
+  return result;
+}
+
+// Candidate with current RoundTripRank bounds.
+struct Candidate {
+  NodeId node;
+  double lower;
+  double upper;
+};
+
+}  // namespace
+
+const char* TopKSchemeName(TopKScheme scheme) {
+  switch (scheme) {
+    case TopKScheme::k2SBound:
+      return "2SBound";
+    case TopKScheme::kGupta:
+      return "Gupta";
+    case TopKScheme::kSarkar:
+      return "Sarkar";
+    case TopKScheme::kGPlusS:
+      return "G+S";
+    case TopKScheme::kNaive:
+      return "Naive";
+  }
+  return "unknown";
+}
+
+std::vector<double> ExactRoundTripRankScores(const Graph& g,
+                                             const Query& query,
+                                             double alpha) {
+  ranking::WalkParams params;
+  params.alpha = alpha;
+  std::vector<double> f = ranking::FRank(g, query, params);
+  std::vector<double> t = ranking::TRank(g, query, params);
+  std::vector<double> scores(g.num_nodes());
+  for (size_t v = 0; v < scores.size(); ++v) scores[v] = f[v] * t[v];
+  return scores;
+}
+
+StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
+                                       const TopKParams& params) {
+  if (params.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (params.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  if (!(params.alpha > 0.0 && params.alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  for (NodeId q : query) {
+    if (q >= g.num_nodes()) {
+      return Status::InvalidArgument("query node out of range");
+    }
+  }
+  if (params.scheme == TopKScheme::kNaive) {
+    return NaiveTopK(g, query, params);
+  }
+
+  FRankBounder f_bounder(g, query, MakeFOptions(params));
+  TRankBounder t_bounder(g, query, MakeTOptions(params));
+  const size_t k = static_cast<size_t>(params.k);
+
+  TopKResult result;
+  std::vector<Candidate> candidates;
+  // Checking the top-K conditions costs O(|S_f| + |S_t|); schemes with weak
+  // bounds can need thousands of expansion rounds, so checks back off
+  // geometrically instead of running every round.
+  int next_check = 1;
+  for (int round = 1; round <= params.max_rounds; ++round) {
+    result.rounds = round;
+    // Stage I on both sides every round (cheap, amortized O(new work)).
+    bool f_progress = f_bounder.Expand();
+    bool t_progress = t_bounder.Expand();
+    bool exhausted = !f_progress && !t_progress;
+    if (round < next_check && !exhausted && round < params.max_rounds) {
+      continue;
+    }
+    next_check = std::max(next_check + 1,
+                          static_cast<int>(next_check * 1.25));
+    // Bound initialization + Stage II refinement cost O(|neighborhood|), so
+    // they run only when the top-K conditions are about to be evaluated.
+    f_bounder.Refine();
+    t_bounder.Refine();
+
+    // Bounds decomposition (Eq. 15): the r-neighborhood is S_f ∩ S_t.
+    candidates.clear();
+    const std::vector<NodeId>& f_seen = f_bounder.seen();
+    double max_f_only_upper = 0.0;  // max over S_f \ S of f-hat(q, v)
+    for (NodeId v : f_seen) {
+      if (t_bounder.IsSeen(v)) {
+        candidates.push_back({v, f_bounder.Lower(v) * t_bounder.Lower(v),
+                              f_bounder.Upper(v) * t_bounder.Upper(v)});
+      } else {
+        max_f_only_upper = std::max(max_f_only_upper, f_bounder.Upper(v));
+      }
+    }
+    double max_t_only_upper = 0.0;  // max over S_t \ S of t-hat(q, v)
+    for (NodeId v : t_bounder.seen()) {
+      if (!f_bounder.IsSeen(v)) {
+        max_t_only_upper = std::max(max_t_only_upper, t_bounder.Upper(v));
+      }
+    }
+    // Unseen upper bound (Eq. 16).
+    double f_unseen = f_bounder.UnseenUpper();
+    double t_unseen = t_bounder.UnseenUpper();
+    double unseen_upper =
+        std::max({f_unseen * t_unseen, max_f_only_upper * t_unseen,
+                  f_unseen * max_t_only_upper});
+
+    // Candidate ranking by lower bound.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.lower != b.lower) return a.lower > b.lower;
+                return a.node < b.node;
+              });
+
+    bool enough = candidates.size() >= k;
+    if (enough || exhausted) {
+      size_t keep = std::min(k, candidates.size());
+      bool ok = true;
+      if (keep > 0 && candidates.size() >= keep) {
+        // Eq. 13: no other node may beat the K-th by more than epsilon.
+        double kth_lower = candidates[keep - 1].lower;
+        double best_other = unseen_upper;
+        for (size_t i = keep; i < candidates.size(); ++i) {
+          best_other = std::max(best_other, candidates[i].upper);
+        }
+        if (!(kth_lower > best_other - params.epsilon)) ok = false;
+        // Eq. 14: adjacent pairs must be ordered within epsilon.
+        for (size_t i = 0; ok && i + 1 < keep; ++i) {
+          if (!(candidates[i].lower > candidates[i + 1].upper -
+                                          params.epsilon)) {
+            ok = false;
+          }
+        }
+      }
+      if ((ok && enough) || exhausted) {
+        result.converged = ok || exhausted;
+        size_t out = std::min(k, candidates.size());
+        for (size_t i = 0; i < out; ++i) {
+          result.entries.push_back(
+              {candidates[i].node, candidates[i].lower, candidates[i].upper});
+        }
+        break;
+      }
+    }
+    if (round == params.max_rounds) {
+      // Out of budget: report the current best effort, unconverged.
+      size_t out = std::min(k, candidates.size());
+      for (size_t i = 0; i < out; ++i) {
+        result.entries.push_back(
+            {candidates[i].node, candidates[i].lower, candidates[i].upper});
+      }
+    }
+  }
+
+  // Active set accounting (Sect. V-B1): nodes of either neighborhood plus
+  // their incident arcs.
+  std::vector<bool> active(g.num_nodes(), false);
+  for (NodeId v : f_bounder.seen()) active[v] = true;
+  for (NodeId v : t_bounder.seen()) active[v] = true;
+  size_t nodes = 0, arcs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!active[v]) continue;
+    ++nodes;
+    arcs += g.out_degree(v) + g.in_degree(v);
+    result.active_node_ids.push_back(v);
+  }
+  result.active_nodes = nodes;
+  result.active_arcs = arcs;
+  // Node record: id + 4 bounds; arc record: endpoint + weight + prob.
+  result.active_set_bytes =
+      nodes * (sizeof(NodeId) + 4 * sizeof(double)) +
+      arcs * (sizeof(NodeId) + 2 * sizeof(double));
+  return result;
+}
+
+}  // namespace rtr::core

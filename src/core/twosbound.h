@@ -1,0 +1,78 @@
+#ifndef RTR_CORE_TWOSBOUND_H_
+#define RTR_CORE_TWOSBOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/two_stage.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace rtr::core {
+
+// Online top-K schemes evaluated in Fig. 11. k2SBound is the paper's full
+// algorithm; the others weaken one or both sides of the two-stage framework
+// (see two_stage.h); kNaive is the exact iterative method of Eqs. 5 and 8.
+enum class TopKScheme {
+  k2SBound,
+  kGupta,
+  kSarkar,
+  kGPlusS,
+  kNaive,
+};
+
+const char* TopKSchemeName(TopKScheme scheme);
+
+// Parameters of Algorithm 1 (2SBound).
+struct TopKParams {
+  int k = 10;
+  // Approximation slack of the relaxed top-K conditions (Eqs. 13-14).
+  double epsilon = 0.01;
+  double alpha = 0.25;
+  // Expansion granularities (paper: m_f = 100, m_t = 5).
+  int m_f = 100;
+  int m_t = 5;
+  // Safety cap on expansion rounds.
+  int max_rounds = 1000000;
+  TopKScheme scheme = TopKScheme::k2SBound;
+};
+
+// One ranked result with its RoundTripRank bounds at termination.
+struct TopKEntry {
+  NodeId node = kInvalidNode;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+struct TopKResult {
+  std::vector<TopKEntry> entries;  // ranked by lower bound, best first
+  // True when the epsilon-approximate top-K conditions were certified (or
+  // both neighborhoods were fully exhausted, making bounds exact).
+  bool converged = false;
+  int rounds = 0;
+  // Active set accounting (Sect. V-B1): nodes in S_f ∪ S_t and their
+  // incident arcs, i.e., the minimum working set of the query.
+  size_t active_nodes = 0;
+  size_t active_arcs = 0;
+  size_t active_set_bytes = 0;
+  // The active nodes themselves, in id order (consumed by the distributed
+  // AP/GP replay, Sect. V-B2).
+  std::vector<NodeId> active_node_ids;
+};
+
+// Runs the requested top-K scheme for RoundTripRank r(q, v) ∝ f(q, v)t(q, v).
+// kNaive computes exact scores iteratively; all other schemes run
+// branch-and-bound neighborhood expansion with the scheme's bound updates.
+StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
+                                       const TopKParams& params);
+
+// Exact RoundTripRank scores (f * t) by full iterative computation — the
+// reference ranking for approximation-quality metrics.
+std::vector<double> ExactRoundTripRankScores(const Graph& g,
+                                             const Query& query,
+                                             double alpha = 0.25);
+
+}  // namespace rtr::core
+
+#endif  // RTR_CORE_TWOSBOUND_H_

@@ -1,0 +1,386 @@
+#include "datasets/bibnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace rtr::datasets {
+namespace {
+
+// Packs a directed node pair into a hashable key.
+uint64_t ArcKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+StatusOr<BibNet> BibNet::Generate(const BibNetConfig& config) {
+  if (config.num_areas <= 0 || config.topics_per_area <= 0 ||
+      config.num_authors <= 0 || config.num_papers <= 0) {
+    return Status::InvalidArgument("BibNet sizes must be positive");
+  }
+  if (config.min_authors_per_paper < 1 ||
+      config.max_authors_per_paper < config.min_authors_per_paper) {
+    return Status::InvalidArgument("bad authors-per-paper range");
+  }
+  if (config.min_terms_per_paper < 1 ||
+      config.max_terms_per_paper < config.min_terms_per_paper) {
+    return Status::InvalidArgument("bad terms-per-paper range");
+  }
+  if (config.last_year < config.first_year) {
+    return Status::InvalidArgument("bad year range");
+  }
+
+  BibNet net;
+  net.config_ = config;
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  net.paper_type_ = builder.AddNodeType("paper");
+  net.author_type_ = builder.AddNodeType("author");
+  net.term_type_ = builder.AddNodeType("term");
+  net.venue_type_ = builder.AddNodeType("venue");
+
+  const int num_topics = config.num_areas * config.topics_per_area;
+
+  // --- Venues: broad "major" venues per area + one specialized per topic.
+  std::vector<std::vector<int>> area_major_venues(config.num_areas);
+  std::vector<int> topic_spec_venue(num_topics, -1);
+  for (int area = 0; area < config.num_areas; ++area) {
+    for (int m = 0; m < config.major_venues_per_area; ++m) {
+      Venue venue;
+      venue.node = builder.AddNode(net.venue_type_);
+      venue.area = area;
+      venue.major = true;
+      venue.name =
+          "MajorVenue-A" + std::to_string(area) + "-" + std::to_string(m);
+      area_major_venues[area].push_back(static_cast<int>(net.venues_.size()));
+      net.venues_.push_back(std::move(venue));
+    }
+    for (int t = 0; t < config.topics_per_area; ++t) {
+      int topic = area * config.topics_per_area + t;
+      Venue venue;
+      venue.node = builder.AddNode(net.venue_type_);
+      venue.area = area;
+      venue.major = false;
+      venue.topic = topic;
+      venue.name = "SpecVenue-T" + std::to_string(topic);
+      topic_spec_venue[topic] = static_cast<int>(net.venues_.size());
+      net.venues_.push_back(std::move(venue));
+    }
+  }
+
+  // --- Authors: each works on 1-3 topics; within a topic, productivity is
+  // Zipfian (a few prolific "faculty", many occasional "students").
+  std::vector<NodeId> author_nodes(config.num_authors);
+  std::vector<std::vector<NodeId>> topic_authors(num_topics);
+  for (int a = 0; a < config.num_authors; ++a) {
+    author_nodes[a] = builder.AddNode(net.author_type_);
+    int num_author_topics = 1 + static_cast<int>(rng.NextUint64(3));  // 1..3
+    std::unordered_set<int> chosen;
+    for (int k = 0; k < num_author_topics; ++k) {
+      int topic = static_cast<int>(rng.NextUint64(num_topics));
+      if (chosen.insert(topic).second) {
+        topic_authors[topic].push_back(author_nodes[a]);
+      }
+    }
+  }
+  // Guarantee every topic has authors.
+  for (int t = 0; t < num_topics; ++t) {
+    if (topic_authors[t].empty()) {
+      topic_authors[t].push_back(
+          author_nodes[rng.NextUint64(config.num_authors)]);
+    }
+  }
+  std::vector<ZipfSampler> topic_author_sampler;
+  topic_author_sampler.reserve(num_topics);
+  for (int t = 0; t < num_topics; ++t) {
+    topic_author_sampler.emplace_back(topic_authors[t].size(), 0.7);
+  }
+
+  // --- Terms: shared vocabulary + per-topic vocabularies.
+  net.shared_term_nodes_.resize(config.shared_terms);
+  for (int i = 0; i < config.shared_terms; ++i) {
+    net.shared_term_nodes_[i] = builder.AddNode(net.term_type_);
+  }
+  net.topic_terms_.assign(num_topics, {});
+  for (int t = 0; t < num_topics; ++t) {
+    net.topic_terms_[t].resize(config.terms_per_topic);
+    for (int i = 0; i < config.terms_per_topic; ++i) {
+      net.topic_terms_[t][i] = builder.AddNode(net.term_type_);
+    }
+  }
+  ZipfSampler shared_term_sampler(config.shared_terms,
+                                  config.term_zipf_exponent);
+  ZipfSampler topic_term_sampler(config.terms_per_topic,
+                                 config.term_zipf_exponent);
+
+  // --- Papers, in chronological order so citations point backwards.
+  const int num_years = config.last_year - config.first_year + 1;
+  std::vector<std::vector<int>> topic_papers(num_topics);
+  net.papers_.reserve(config.num_papers);
+  const double citation_geo_p = 1.0 / (1.0 + config.mean_citations);
+  for (int i = 0; i < config.num_papers; ++i) {
+    Paper paper;
+    paper.node = builder.AddNode(net.paper_type_);
+    paper.year =
+        config.first_year + static_cast<int>((static_cast<int64_t>(i) *
+                                              num_years) /
+                                             config.num_papers);
+    paper.topic = static_cast<int>(rng.NextUint64(num_topics));
+
+    // Venue.
+    int venue_index;
+    if (rng.NextBernoulli(config.major_venue_prob)) {
+      int area = paper.topic / config.topics_per_area;
+      const auto& majors = area_major_venues[area];
+      venue_index = majors[rng.NextUint64(majors.size())];
+    } else {
+      venue_index = topic_spec_venue[paper.topic];
+    }
+    paper.venue = net.venues_[venue_index].node;
+
+    // Citations must precede author selection: research-thread continuity
+    // draws authors from the cited papers' author lists.
+    int num_citations = rng.NextGeometric(citation_geo_p);
+    std::unordered_set<NodeId> cited;
+    for (int k = 0; k < num_citations; ++k) {
+      NodeId target = kInvalidNode;
+      if (rng.NextBernoulli(config.same_topic_citation_prob)) {
+        const auto& earlier = topic_papers[paper.topic];
+        if (!earlier.empty()) {
+          target = net.papers_[earlier[rng.NextUint64(earlier.size())]].node;
+        }
+      } else if (i > 0) {
+        target = net.papers_[rng.NextUint64(i)].node;
+      }
+      if (target != kInvalidNode) cited.insert(target);
+    }
+    paper.citations.assign(cited.begin(), cited.end());
+    std::sort(paper.citations.begin(), paper.citations.end());
+
+    // Pool of continuity candidates: authors of the cited papers. Paper
+    // node ids map back to paper indices via the id offset of the first
+    // paper node.
+    std::vector<NodeId> cited_authors;
+    for (NodeId cited_node : paper.citations) {
+      const Paper& cited_paper =
+          net.papers_[cited_node - net.papers_.front().node];
+      cited_authors.insert(cited_authors.end(), cited_paper.authors.begin(),
+                           cited_paper.authors.end());
+    }
+
+    // Entity pools grow over time: paper i samples from a prefix of each
+    // pool (new authors/terms keep entering the field).
+    const double growth_fraction =
+        config.entity_growth_exponent <= 0.0
+            ? 1.0
+            : std::pow((i + 1.0) / config.num_papers,
+                       config.entity_growth_exponent);
+    auto prefix = [growth_fraction](size_t pool_size) {
+      size_t avail = static_cast<size_t>(
+          std::ceil(growth_fraction * static_cast<double>(pool_size)));
+      return std::max<size_t>(std::min<size_t>(pool_size, 5), avail);
+    };
+
+    // Authors: continuity draw from cited papers' authors when possible,
+    // otherwise Zipf-rank sampled within the topic's active prefix.
+    int num_paper_authors = static_cast<int>(rng.NextInt(
+        config.min_authors_per_paper, config.max_authors_per_paper));
+    std::unordered_set<NodeId> author_set;
+    const auto& pool = topic_authors[paper.topic];
+    const auto& sampler = topic_author_sampler[paper.topic];
+    const size_t author_avail = prefix(pool.size());
+    for (int k = 0; k < num_paper_authors * 3 &&
+                    static_cast<int>(author_set.size()) < num_paper_authors;
+         ++k) {
+      if (!cited_authors.empty() &&
+          rng.NextBernoulli(config.author_continuity_prob)) {
+        author_set.insert(
+            cited_authors[rng.NextUint64(cited_authors.size())]);
+      } else {
+        author_set.insert(pool[sampler.Sample(rng) % author_avail]);
+      }
+    }
+    paper.authors.assign(author_set.begin(), author_set.end());
+    std::sort(paper.authors.begin(), paper.authors.end());
+
+    // Terms (mixture of shared and topic vocabulary).
+    int num_paper_terms = static_cast<int>(
+        rng.NextInt(config.min_terms_per_paper, config.max_terms_per_paper));
+    std::unordered_set<NodeId> term_set;
+    const size_t shared_avail = prefix(net.shared_term_nodes_.size());
+    const size_t topic_avail = prefix(net.topic_terms_[paper.topic].size());
+    for (int k = 0; k < num_paper_terms * 3 &&
+                    static_cast<int>(term_set.size()) < num_paper_terms;
+         ++k) {
+      if (rng.NextBernoulli(config.shared_term_prob)) {
+        term_set.insert(
+            net.shared_term_nodes_[shared_term_sampler.Sample(rng) %
+                                   shared_avail]);
+      } else {
+        term_set.insert(
+            net.topic_terms_[paper.topic][topic_term_sampler.Sample(rng) %
+                                          topic_avail]);
+      }
+    }
+    paper.terms.assign(term_set.begin(), term_set.end());
+    std::sort(paper.terms.begin(), paper.terms.end());
+
+    topic_papers[paper.topic].push_back(i);
+    net.papers_.push_back(std::move(paper));
+  }
+
+  // --- Materialize edges.
+  for (const Paper& paper : net.papers_) {
+    builder.AddUndirectedEdge(paper.node, paper.venue,
+                              config.paper_venue_weight);
+    for (NodeId a : paper.authors) {
+      builder.AddUndirectedEdge(paper.node, a, config.paper_author_weight);
+    }
+    for (NodeId t : paper.terms) {
+      builder.AddUndirectedEdge(paper.node, t, config.paper_term_weight);
+    }
+    for (NodeId cited : paper.citations) {
+      builder.AddDirectedEdge(paper.node, cited, config.citation_weight);
+    }
+  }
+
+  StatusOr<Graph> graph = builder.Build();
+  RTR_RETURN_IF_ERROR(graph.status());
+  net.graph_ = std::move(graph).value();
+  return net;
+}
+
+StatusOr<Graph> BibNet::BuildGraphWithoutEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& removed) const {
+  std::unordered_set<uint64_t> removed_keys;
+  removed_keys.reserve(removed.size() * 2);
+  for (const auto& [u, v] : removed) {
+    removed_keys.insert(ArcKey(u, v));
+    removed_keys.insert(ArcKey(v, u));
+  }
+  GraphBuilder builder;
+  for (const std::string& name : graph_.type_names()) {
+    builder.AddNodeType(name);
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    builder.AddNode(graph_.node_type(v));
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (const OutArc& arc : graph_.out_arcs(v)) {
+      if (removed_keys.count(ArcKey(v, arc.target))) continue;
+      builder.AddDirectedEdge(v, arc.target, arc.weight);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<EvalTaskSet> BibNet::MakeAuthorTask(int num_test, int num_dev,
+                                             uint64_t seed) const {
+  if (num_test <= 0 || num_dev < 0) {
+    return Status::InvalidArgument("bad query counts");
+  }
+  const size_t want = static_cast<size_t>(num_test + num_dev);
+  if (want > papers_.size()) {
+    return Status::InvalidArgument("more queries than papers");
+  }
+  Rng rng(seed);
+  std::vector<size_t> order = rng.SampleWithoutReplacement(papers_.size(),
+                                                           papers_.size());
+  EvalTaskSet task;
+  task.name = "Task 1 (Author)";
+  task.target_type = author_type_;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  for (size_t idx : order) {
+    if (task.test_queries.size() + task.dev_queries.size() >= want) break;
+    const Paper& paper = papers_[idx];
+    if (paper.authors.empty()) continue;
+    EvalQuery q;
+    q.query_nodes = {paper.node};
+    q.ground_truth = paper.authors;
+    for (NodeId a : paper.authors) removed.emplace_back(paper.node, a);
+    if (task.test_queries.size() < static_cast<size_t>(num_test)) {
+      task.test_queries.push_back(std::move(q));
+    } else {
+      task.dev_queries.push_back(std::move(q));
+    }
+  }
+  if (task.test_queries.size() + task.dev_queries.size() < want) {
+    return Status::FailedPrecondition("not enough eligible papers");
+  }
+  StatusOr<Graph> graph = BuildGraphWithoutEdges(removed);
+  RTR_RETURN_IF_ERROR(graph.status());
+  task.graph = std::move(graph).value();
+  return task;
+}
+
+StatusOr<EvalTaskSet> BibNet::MakeVenueTask(int num_test, int num_dev,
+                                            uint64_t seed) const {
+  if (num_test <= 0 || num_dev < 0) {
+    return Status::InvalidArgument("bad query counts");
+  }
+  const size_t want = static_cast<size_t>(num_test + num_dev);
+  if (want > papers_.size()) {
+    return Status::InvalidArgument("more queries than papers");
+  }
+  Rng rng(seed);
+  std::vector<size_t> order = rng.SampleWithoutReplacement(papers_.size(),
+                                                           papers_.size());
+  EvalTaskSet task;
+  task.name = "Task 2 (Venue)";
+  task.target_type = venue_type_;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  for (size_t idx : order) {
+    if (task.test_queries.size() + task.dev_queries.size() >= want) break;
+    const Paper& paper = papers_[idx];
+    EvalQuery q;
+    q.query_nodes = {paper.node};
+    q.ground_truth = {paper.venue};
+    removed.emplace_back(paper.node, paper.venue);
+    if (task.test_queries.size() < static_cast<size_t>(num_test)) {
+      task.test_queries.push_back(std::move(q));
+    } else {
+      task.dev_queries.push_back(std::move(q));
+    }
+  }
+  StatusOr<Graph> graph = BuildGraphWithoutEdges(removed);
+  RTR_RETURN_IF_ERROR(graph.status());
+  task.graph = std::move(graph).value();
+  return task;
+}
+
+std::vector<NodeId> BibNet::TopicQueryTerms(int topic, int num_terms) const {
+  CHECK_GE(topic, 0);
+  CHECK_LT(static_cast<size_t>(topic), topic_terms_.size());
+  CHECK_GT(num_terms, 0);
+  const auto& vocabulary = topic_terms_[topic];
+  std::vector<NodeId> query;
+  for (int i = 0; i < num_terms && i < static_cast<int>(vocabulary.size());
+       ++i) {
+    query.push_back(vocabulary[i]);  // rank 0 is the most-used term
+  }
+  return query;
+}
+
+StatusOr<Subgraph> BibNet::Snapshot(int year) const {
+  std::vector<bool> include(graph_.num_nodes(), false);
+  for (const Paper& paper : papers_) {
+    if (paper.year > year) continue;
+    include[paper.node] = true;
+    include[paper.venue] = true;
+    for (NodeId a : paper.authors) include[a] = true;
+    for (NodeId t : paper.terms) include[t] = true;
+    for (NodeId c : paper.citations) include[c] = true;
+  }
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (include[v]) nodes.push_back(v);
+  }
+  return InducedSubgraph(graph_, nodes);
+}
+
+}  // namespace rtr::datasets

@@ -1,0 +1,167 @@
+#ifndef RTR_DATASETS_BIBNET_H_
+#define RTR_DATASETS_BIBNET_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/tasks.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace rtr::datasets {
+
+// Configuration of the synthetic bibliographic network (the paper's BibNet:
+// papers, authors, terms, venues from DBLP+Citeseer). Defaults approximate
+// the paper's effectiveness subgraph: ~17k nodes, ~350k arcs, 28 venues in
+// four areas. See DESIGN.md §1 for the substitution rationale.
+struct BibNetConfig {
+  uint64_t seed = 20130408;  // ICDE'13 started April 8, 2013
+
+  // Areas (DB/DM/IR/AI in the paper) and research topics per area.
+  int num_areas = 4;
+  int topics_per_area = 8;
+
+  // Venues: per area, `major_venues_per_area` broad venues accepting papers
+  // from every topic of the area (the VLDB/ICDE archetype: important, not
+  // specific), plus one specialized venue per topic (the "Spatio-Temporal
+  // Databases" archetype: specific, not important).
+  int major_venues_per_area = 3;
+
+  // Probability that a paper is published in a major venue of its area
+  // rather than its topic's specialized venue. Majors must dominate in
+  // volume (even per topic) for the importance/specificity contrast of
+  // Figs. 1/6/7 to appear: a major venue's per-topic paper count exceeds
+  // the specialized venue's, while the specialized venue stays pure.
+  double major_venue_prob = 0.8;
+
+  int num_authors = 3000;
+  int num_papers = 12000;
+
+  // Authors per paper, uniform in [min, max].
+  int min_authors_per_paper = 1;
+  int max_authors_per_paper = 4;
+
+  // Terms: per-topic vocabulary plus a shared general vocabulary (e.g.,
+  // "data", "system") drawn by every paper. Term usage is Zipfian.
+  int terms_per_topic = 40;
+  int shared_terms = 300;
+  int min_terms_per_paper = 5;
+  int max_terms_per_paper = 12;
+  double term_zipf_exponent = 1.05;
+  // Fraction of a paper's terms drawn from the shared vocabulary.
+  double shared_term_prob = 0.35;
+
+  // Citations: directed paper->paper arcs to earlier papers, mostly within
+  // the same topic.
+  double mean_citations = 5.0;
+  double same_topic_citation_prob = 0.8;
+
+  // Probability that an author slot is filled from the authors of the
+  // paper's cited papers (research-thread continuity: people cite their own
+  // and their collaborators' earlier work). This is the structural signal
+  // that makes Task 1 (author re-discovery) solvable once the direct
+  // paper-author edges are removed.
+  double author_continuity_prob = 0.6;
+
+  // Publication years, for the cumulative snapshots of Fig. 12 (the paper
+  // snapshots BibNet every four years, 1994-2010).
+  int first_year = 1994;
+  int last_year = 2010;
+
+  // New authors and terms keep appearing over time (as in real DBLP): the
+  // i-th paper samples authors/terms from pool prefixes of relative size
+  // ((i+1)/num_papers)^entity_growth_exponent. Sublinear pool growth keeps
+  // hub degrees growing slowly — the densification property behind the
+  // paper's Fig. 13 claim that the active set grows much slower than the
+  // graph. Set to 0 to disable (all entities available from the start).
+  double entity_growth_exponent = 0.75;
+
+  // Edge weights by type, following the convention of Sarkar et al. [14]
+  // that high-fanout term links are down-weighted.
+  double paper_term_weight = 0.1;
+  double paper_author_weight = 1.0;
+  double paper_venue_weight = 1.0;
+  double citation_weight = 1.0;
+};
+
+// A generated bibliographic network with full provenance: the graph plus the
+// metadata needed to derive ground-truth tasks and snapshots.
+class BibNet {
+ public:
+  struct Paper {
+    NodeId node = kInvalidNode;
+    int year = 0;
+    int topic = 0;  // global topic index in [0, num_areas*topics_per_area)
+    NodeId venue = kInvalidNode;
+    std::vector<NodeId> authors;
+    std::vector<NodeId> terms;      // distinct term nodes of this paper
+    std::vector<NodeId> citations;  // earlier papers cited
+  };
+
+  struct Venue {
+    NodeId node = kInvalidNode;
+    int area = 0;
+    bool major = false;
+    int topic = -1;  // specialized venues only; -1 for major venues
+    std::string name;
+  };
+
+  // Generates a network from `config` (deterministic in config.seed).
+  static StatusOr<BibNet> Generate(const BibNetConfig& config);
+
+  const BibNetConfig& config() const { return config_; }
+  const Graph& graph() const { return graph_; }
+
+  NodeTypeId paper_type() const { return paper_type_; }
+  NodeTypeId author_type() const { return author_type_; }
+  NodeTypeId term_type() const { return term_type_; }
+  NodeTypeId venue_type() const { return venue_type_; }
+
+  const std::vector<Paper>& papers() const { return papers_; }
+  const std::vector<Venue>& venues() const { return venues_; }
+  // Term nodes of a topic's private vocabulary, by global topic index.
+  const std::vector<std::vector<NodeId>>& topic_terms() const {
+    return topic_terms_;
+  }
+  const std::vector<NodeId>& shared_term_nodes() const {
+    return shared_term_nodes_;
+  }
+
+  // Task 1 (Author): given a paper, find its authors.
+  StatusOr<EvalTaskSet> MakeAuthorTask(int num_test, int num_dev,
+                                       uint64_t seed) const;
+  // Task 2 (Venue): given a paper, find its venue.
+  StatusOr<EvalTaskSet> MakeVenueTask(int num_test, int num_dev,
+                                      uint64_t seed) const;
+
+  // Venue-search query of the Fig. 6/7 flavor: the terms of a topic as a
+  // multi-node query. Returns `num_terms` high-usage term nodes of the topic.
+  std::vector<NodeId> TopicQueryTerms(int topic, int num_terms) const;
+
+  // Cumulative snapshot: the subgraph induced by papers with year <= `year`
+  // and every author/term/venue/citation endpoint incident to them (Fig. 12).
+  StatusOr<Subgraph> Snapshot(int year) const;
+
+ private:
+  BibNet() = default;
+
+  // Rebuilds the graph without the paper->ground-truth arcs in `removed`
+  // (pairs are matched in both directions).
+  StatusOr<Graph> BuildGraphWithoutEdges(
+      const std::vector<std::pair<NodeId, NodeId>>& removed) const;
+
+  BibNetConfig config_;
+  Graph graph_;
+  NodeTypeId paper_type_ = 0, author_type_ = 0, term_type_ = 0,
+             venue_type_ = 0;
+  std::vector<Paper> papers_;
+  std::vector<Venue> venues_;
+  std::vector<std::vector<NodeId>> topic_terms_;
+  std::vector<NodeId> shared_term_nodes_;
+};
+
+}  // namespace rtr::datasets
+
+#endif  // RTR_DATASETS_BIBNET_H_

@@ -1,0 +1,347 @@
+#include "datasets/qlog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace rtr::datasets {
+namespace {
+
+uint64_t ArcKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+// A query log grows mainly by *new concepts arriving*: once a concept is
+// being searched, its click neighborhood fills in within days. Each concept
+// gets an arrival day; its clicks land shortly after (geometric tail). The
+// cumulative snapshots of Fig. 12 therefore grow by adding new, complete
+// neighborhoods rather than by densifying old ones — the regime in which
+// the paper's active set stays nearly constant while the graph grows.
+int SampleClickDay(Rng& rng, int arrival_day, int num_days) {
+  int day = arrival_day + rng.NextGeometric(0.25);
+  return std::min(day, num_days);
+}
+
+}  // namespace
+
+StatusOr<QLog> QLog::Generate(const QLogConfig& config) {
+  if (config.num_concepts <= 0 || config.num_portal_urls < 0 ||
+      config.num_days <= 0) {
+    return Status::InvalidArgument("QLog sizes must be positive");
+  }
+  if (config.max_phrases_per_concept < 1 || config.max_urls_per_concept < 1) {
+    return Status::InvalidArgument("bad per-concept caps");
+  }
+
+  QLog log;
+  log.config_ = config;
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  log.phrase_type_ = builder.AddNodeType("phrase");
+  log.url_type_ = builder.AddNodeType("url");
+
+  // Portal URLs first.
+  log.portal_urls_.resize(config.num_portal_urls);
+  for (int i = 0; i < config.num_portal_urls; ++i) {
+    log.portal_urls_[i] = builder.AddNode(log.url_type_);
+  }
+
+  const int num_topics =
+      (config.num_concepts + config.concepts_per_topic - 1) /
+      std::max(config.concepts_per_topic, 1);
+  log.topic_urls_.resize(num_topics);
+  for (int t = 0; t < num_topics; ++t) {
+    for (int u = 0; u < config.urls_per_topic; ++u) {
+      log.topic_urls_[t].push_back(builder.AddNode(log.url_type_));
+    }
+  }
+
+  // Arrival day of each concept, uniform over the observation window.
+  std::vector<int> concept_arrival(config.num_concepts);
+  for (int c = 0; c < config.num_concepts; ++c) {
+    concept_arrival[c] = 1 + static_cast<int>(rng.NextUint64(config.num_days));
+  }
+
+  log.concepts_.reserve(config.num_concepts);
+  for (int c = 0; c < config.num_concepts; ++c) {
+    const int topic = c / std::max(config.concepts_per_topic, 1);
+    Concept cls;
+    int num_phrases = std::min(1 + rng.NextGeometric(config.phrase_geo_p),
+                               config.max_phrases_per_concept);
+    int num_urls = std::min(1 + rng.NextGeometric(config.url_geo_p),
+                            config.max_urls_per_concept);
+    for (int p = 0; p < num_phrases; ++p) {
+      cls.phrases.push_back(builder.AddNode(log.phrase_type_));
+    }
+    for (int u = 0; u < num_urls; ++u) {
+      cls.urls.push_back(builder.AddNode(log.url_type_));
+    }
+
+    for (int p = 0; p < num_phrases; ++p) {
+      // Canonical phrases are searched more often than late variants.
+      double phrase_freq = 1.0 / (1.0 + p);
+      for (int u = 0; u < num_urls; ++u) {
+        bool clicked = (u == 0) || rng.NextBernoulli(config.click_prob);
+        if (!clicked) continue;
+        double url_pop = 1.0 / (1.0 + u);
+        double mean = config.mean_clicks * phrase_freq * url_pop;
+        double weight =
+            1.0 + rng.NextGeometric(1.0 / (1.0 + mean));
+        Click click;
+        click.phrase = cls.phrases[p];
+        click.url = cls.urls[u];
+        click.weight = weight;
+        click.day = SampleClickDay(rng, concept_arrival[c], config.num_days);
+        log.clicks_.push_back(click);
+      }
+      // Clicks on the topic's shared URLs (distractor structure: phrases of
+      // *related* concepts share these, phrases of the *same* concept share
+      // both these and the concept URLs).
+      if (!log.topic_urls_[topic].empty() &&
+          rng.NextBernoulli(config.topic_click_prob)) {
+        NodeId shared = log.topic_urls_[topic][rng.NextUint64(
+            log.topic_urls_[topic].size())];
+        Click click;
+        click.phrase = cls.phrases[p];
+        click.url = shared;
+        click.weight =
+            1.0 + rng.NextGeometric(1.0 / (1.0 + config.topic_mean_clicks));
+        click.day = SampleClickDay(rng, concept_arrival[c], config.num_days);
+        log.clicks_.push_back(click);
+      }
+      // Occasional clicks on generic portals.
+      if (config.num_portal_urls > 0 &&
+          rng.NextBernoulli(config.portal_click_prob)) {
+        int num_portals = 1 + static_cast<int>(rng.NextUint64(2));
+        std::unordered_set<NodeId> used;
+        for (int k = 0; k < num_portals; ++k) {
+          NodeId portal =
+              log.portal_urls_[rng.NextUint64(config.num_portal_urls)];
+          if (!used.insert(portal).second) continue;
+          Click click;
+          click.phrase = cls.phrases[p];
+          click.url = portal;
+          click.weight =
+              1.0 + rng.NextGeometric(1.0 / (1.0 + config.portal_mean_clicks));
+          click.day = SampleClickDay(rng, concept_arrival[c], config.num_days);
+          log.clicks_.push_back(click);
+        }
+      }
+    }
+    log.concepts_.push_back(std::move(cls));
+  }
+
+  // Second pass: cross-concept clicks onto sibling concepts' top URLs
+  // (possible only now that every concept of each topic exists).
+  for (int c = 0; c < config.num_concepts; ++c) {
+    const int topic = c / std::max(config.concepts_per_topic, 1);
+    const int topic_first = topic * config.concepts_per_topic;
+    const int topic_last =
+        std::min(topic_first + config.concepts_per_topic, config.num_concepts);
+    if (topic_last - topic_first < 2) continue;
+    for (NodeId phrase : log.concepts_[c].phrases) {
+      if (!rng.NextBernoulli(config.cross_click_prob)) continue;
+      int sibling = c;
+      while (sibling == c) {
+        sibling = topic_first + static_cast<int>(rng.NextUint64(
+                                    topic_last - topic_first));
+      }
+      Click click;
+      click.phrase = phrase;
+      click.url = log.concepts_[sibling].urls[0];
+      click.weight =
+          1.0 + rng.NextGeometric(1.0 / (1.0 + config.cross_mean_clicks));
+      click.day = SampleClickDay(
+          rng, std::max(concept_arrival[c], concept_arrival[sibling]),
+          config.num_days);
+      log.clicks_.push_back(click);
+    }
+  }
+
+  // Materialize undirected click edges.
+  for (const Click& click : log.clicks_) {
+    builder.AddUndirectedEdge(click.phrase, click.url, click.weight);
+  }
+  StatusOr<Graph> graph = builder.Build();
+  RTR_RETURN_IF_ERROR(graph.status());
+  log.graph_ = std::move(graph).value();
+
+  // Provenance indices.
+  log.phrase_concept_.assign(log.graph_.num_nodes(), -1);
+  for (size_t c = 0; c < log.concepts_.size(); ++c) {
+    for (NodeId phrase : log.concepts_[c].phrases) {
+      log.phrase_concept_[phrase] = static_cast<int>(c);
+    }
+  }
+  log.phrase_concept_urls_.assign(log.graph_.num_nodes(), {});
+  // Only concept-private URLs qualify as Task 3 ground truth; portals and
+  // topic-shared URLs are excluded (they are tailored to no concept).
+  std::unordered_set<NodeId> generic_urls(log.portal_urls_.begin(),
+                                          log.portal_urls_.end());
+  for (const auto& urls : log.topic_urls_) {
+    generic_urls.insert(urls.begin(), urls.end());
+  }
+  log.phrase_concept_url_weights_.assign(log.graph_.num_nodes(), {});
+  for (const Click& click : log.clicks_) {
+    if (generic_urls.count(click.url)) continue;
+    log.phrase_concept_urls_[click.phrase].push_back(click.url);
+    log.phrase_concept_url_weights_[click.phrase].push_back(click.weight);
+  }
+  return log;
+}
+
+int QLog::ConceptOfPhrase(NodeId phrase) const {
+  CHECK_LT(phrase, phrase_concept_.size());
+  return phrase_concept_[phrase];
+}
+
+StatusOr<Graph> QLog::BuildGraphWithoutEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& removed) const {
+  std::unordered_set<uint64_t> removed_keys;
+  removed_keys.reserve(removed.size() * 2);
+  for (const auto& [u, v] : removed) {
+    removed_keys.insert(ArcKey(u, v));
+    removed_keys.insert(ArcKey(v, u));
+  }
+  GraphBuilder builder;
+  for (const std::string& name : graph_.type_names()) {
+    builder.AddNodeType(name);
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    builder.AddNode(graph_.node_type(v));
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (const OutArc& arc : graph_.out_arcs(v)) {
+      if (removed_keys.count(ArcKey(v, arc.target))) continue;
+      builder.AddDirectedEdge(v, arc.target, arc.weight);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<EvalTaskSet> QLog::MakeRelevantUrlTask(int num_test, int num_dev,
+                                                uint64_t seed) const {
+  if (num_test <= 0 || num_dev < 0) {
+    return Status::InvalidArgument("bad query counts");
+  }
+  Rng rng(seed);
+  // Eligible phrases clicked at least two distinct concept URLs, so removing
+  // the ground-truth edge leaves the phrase attached to its concept.
+  std::vector<NodeId> eligible;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    std::unordered_set<NodeId> distinct(phrase_concept_urls_[v].begin(),
+                                        phrase_concept_urls_[v].end());
+    if (distinct.size() >= 2) eligible.push_back(v);
+  }
+  // Global URL popularity (total click weight) drives the ground-truth
+  // draw: users predominantly click well-known sites.
+  std::vector<double> url_popularity(graph_.num_nodes(), 0.0);
+  for (const Click& click : clicks_) url_popularity[click.url] += click.weight;
+  const size_t want = static_cast<size_t>(num_test + num_dev);
+  if (eligible.size() < want) {
+    return Status::FailedPrecondition("not enough eligible phrases");
+  }
+  rng.Shuffle(eligible);
+
+  EvalTaskSet task;
+  task.name = "Task 3 (Relevant URL)";
+  task.target_type = url_type_;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  for (size_t i = 0; i < want; ++i) {
+    NodeId phrase = eligible[i];
+    const auto& urls = phrase_concept_urls_[phrase];
+    std::vector<double> weights(urls.size());
+    for (size_t u = 0; u < urls.size(); ++u) {
+      weights[u] = url_popularity[urls[u]];
+    }
+    NodeId target = urls[rng.NextWeighted(weights)];
+    EvalQuery q;
+    q.query_nodes = {phrase};
+    q.ground_truth = {target};
+    removed.emplace_back(phrase, target);
+    if (task.test_queries.size() < static_cast<size_t>(num_test)) {
+      task.test_queries.push_back(std::move(q));
+    } else {
+      task.dev_queries.push_back(std::move(q));
+    }
+  }
+  StatusOr<Graph> graph = BuildGraphWithoutEdges(removed);
+  RTR_RETURN_IF_ERROR(graph.status());
+  task.graph = std::move(graph).value();
+  return task;
+}
+
+StatusOr<EvalTaskSet> QLog::MakeEquivalentPhraseTask(int num_test,
+                                                     int num_dev,
+                                                     uint64_t seed) const {
+  if (num_test <= 0 || num_dev < 0) {
+    return Status::InvalidArgument("bad query counts");
+  }
+  Rng rng(seed);
+  std::vector<NodeId> eligible;
+  for (const Concept& cls : concepts_) {
+    if (cls.phrases.size() < 2) continue;
+    for (NodeId phrase : cls.phrases) eligible.push_back(phrase);
+  }
+  const size_t want = static_cast<size_t>(num_test + num_dev);
+  if (eligible.size() < want) {
+    return Status::FailedPrecondition("not enough equivalence classes");
+  }
+  rng.Shuffle(eligible);
+
+  EvalTaskSet task;
+  task.name = "Task 4 (Equivalent search)";
+  task.target_type = phrase_type_;
+  task.graph = graph_;  // no direct edges exist between equivalent phrases
+  for (size_t i = 0; i < want; ++i) {
+    NodeId phrase = eligible[i];
+    const Concept& cls = concepts_[phrase_concept_[phrase]];
+    EvalQuery q;
+    q.query_nodes = {phrase};
+    for (NodeId other : cls.phrases) {
+      if (other != phrase) q.ground_truth.push_back(other);
+    }
+    if (task.test_queries.size() < static_cast<size_t>(num_test)) {
+      task.test_queries.push_back(std::move(q));
+    } else {
+      task.dev_queries.push_back(std::move(q));
+    }
+  }
+  return task;
+}
+
+StatusOr<Subgraph> QLog::Snapshot(int day) const {
+  // Nodes incident to a click observed by `day`.
+  std::vector<bool> include(graph_.num_nodes(), false);
+  for (const Click& click : clicks_) {
+    if (click.day > day) continue;
+    include[click.phrase] = true;
+    include[click.url] = true;
+  }
+  Subgraph sub;
+  sub.from_parent.assign(graph_.num_nodes(), kInvalidNode);
+  GraphBuilder builder;
+  for (const std::string& name : graph_.type_names()) {
+    builder.AddNodeType(name);
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (!include[v]) continue;
+    sub.from_parent[v] = builder.AddNode(graph_.node_type(v));
+    sub.to_parent.push_back(v);
+  }
+  for (const Click& click : clicks_) {
+    if (click.day > day) continue;
+    builder.AddUndirectedEdge(sub.from_parent[click.phrase],
+                              sub.from_parent[click.url], click.weight);
+  }
+  StatusOr<Graph> graph = builder.Build();
+  RTR_RETURN_IF_ERROR(graph.status());
+  sub.graph = std::move(graph).value();
+  return sub;
+}
+
+}  // namespace rtr::datasets

@@ -1,0 +1,141 @@
+#ifndef RTR_DATASETS_QLOG_H_
+#define RTR_DATASETS_QLOG_H_
+
+#include <vector>
+
+#include "datasets/tasks.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace rtr::datasets {
+
+// Configuration of the synthetic query log (the paper's QLog: search phrases
+// and clicked URLs, undirected click edges weighted by click counts).
+// Defaults give ~18k nodes with an average degree close to the sparse real
+// log's. See DESIGN.md §1 for the substitution rationale.
+struct QLogConfig {
+  uint64_t seed = 200605;  // the paper's log covers May 2006
+
+  // Concepts. Each concept owns an equivalence class of search phrases
+  // ("google mail" / "gmail") and a set of relevant URLs.
+  int num_concepts = 4000;
+
+  // Phrases per concept: 1 + Geometric(phrase_geo_p), capped.
+  double phrase_geo_p = 0.55;
+  int max_phrases_per_concept = 5;
+
+  // URLs per concept: 1 + Geometric(url_geo_p), capped.
+  double url_geo_p = 0.45;
+  int max_urls_per_concept = 6;
+
+  // Probability that a phrase clicks each concept URL (the top-popularity
+  // URL is always clicked so no phrase is isolated).
+  double click_prob = 0.7;
+
+  // Mean click count scale; actual weights are 1 + Geometric with a mean
+  // proportional to phrase frequency and URL popularity.
+  double mean_clicks = 6.0;
+
+  // Generic high-traffic "portal" URLs clicked across concepts. These are
+  // the importance/specificity stress: portals are easy to reach (popular)
+  // but tailored to nothing.
+  int num_portal_urls = 40;
+  double portal_click_prob = 0.2;
+  double portal_mean_clicks = 3.0;
+
+  // Concepts are grouped into topics of `concepts_per_topic`; each topic
+  // owns `urls_per_topic` shared URLs that its phrases also click with
+  // `topic_click_prob`. Related-but-not-equivalent phrases of the same
+  // topic are the distractors that make Task 4 non-trivial (without them,
+  // equivalence classes would be the only phrases sharing any URL).
+  int concepts_per_topic = 8;
+  int urls_per_topic = 3;
+  double topic_click_prob = 0.55;
+  double topic_mean_clicks = 3.0;
+
+  // Probability that a phrase also clicks the *top* URL of a sibling
+  // concept in its topic. Popular URLs thereby attract clicks from beyond
+  // their own concept — the reason re-discovering a clicked URL (Task 3)
+  // rewards importance (paper: "users are often biased to click on
+  // important and well-known sites", Fig. 8 Task 3 beta* < 0.5).
+  double cross_click_prob = 0.7;
+  double cross_mean_clicks = 6.0;
+
+  // Days 1..num_days stamp each click edge, for cumulative snapshots
+  // (the paper snapshots QLog about every six days during May 2006).
+  int num_days = 30;
+};
+
+// A generated query log with provenance for task construction and snapshots.
+class QLog {
+ public:
+  struct Concept {
+    std::vector<NodeId> phrases;  // equivalence class; index 0 is canonical
+    std::vector<NodeId> urls;     // concept-relevant URLs, by popularity rank
+  };
+
+  struct Click {
+    NodeId phrase = kInvalidNode;
+    NodeId url = kInvalidNode;
+    double weight = 0.0;  // click count (edge weight)
+    int day = 0;          // first day observed, in [1, num_days]
+  };
+
+  static StatusOr<QLog> Generate(const QLogConfig& config);
+
+  const QLogConfig& config() const { return config_; }
+  const Graph& graph() const { return graph_; }
+  NodeTypeId phrase_type() const { return phrase_type_; }
+  NodeTypeId url_type() const { return url_type_; }
+
+  const std::vector<Concept>& concepts() const { return concepts_; }
+  const std::vector<Click>& clicks() const { return clicks_; }
+  const std::vector<NodeId>& portal_urls() const { return portal_urls_; }
+  // Shared URLs of each topic group (distractor structure).
+  const std::vector<std::vector<NodeId>>& topic_urls() const {
+    return topic_urls_;
+  }
+  // Concept index of each phrase node (kInvalidConcept for non-phrase ids).
+  int ConceptOfPhrase(NodeId phrase) const;
+
+  // Task 3 (Relevant URL): given a phrase, re-discover one randomly chosen
+  // clicked concept URL (the click edge is removed).
+  StatusOr<EvalTaskSet> MakeRelevantUrlTask(int num_test, int num_dev,
+                                            uint64_t seed) const;
+  // Task 4 (Equivalent search): given a phrase, find the other phrases of
+  // its concept. (No direct phrase-phrase edges exist to remove.)
+  StatusOr<EvalTaskSet> MakeEquivalentPhraseTask(int num_test, int num_dev,
+                                                 uint64_t seed) const;
+
+  // Cumulative snapshot: the graph formed by clicks with day <= `day`
+  // (Fig. 12). Node ids are remapped densely; `to_parent` maps back.
+  StatusOr<Subgraph> Snapshot(int day) const;
+
+ private:
+  QLog() = default;
+
+  StatusOr<Graph> BuildGraphWithoutEdges(
+      const std::vector<std::pair<NodeId, NodeId>>& removed) const;
+
+  QLogConfig config_;
+  Graph graph_;
+  NodeTypeId phrase_type_ = 0, url_type_ = 0;
+  std::vector<Concept> concepts_;
+  std::vector<Click> clicks_;
+  std::vector<NodeId> portal_urls_;
+  std::vector<std::vector<NodeId>> topic_urls_;
+  std::vector<int> phrase_concept_;  // indexed by node id; -1 if not a phrase
+  // Concept URLs actually clicked by each phrase node (portals and topic
+  // URLs excluded), with the corresponding click weights. Task 3 draws its
+  // ground truth proportionally to the click weight — users click popular
+  // (important) URLs more, which is what makes Task 3 importance-leaning
+  // (Fig. 8: beta* < 0.5).
+  std::vector<std::vector<NodeId>> phrase_concept_urls_;
+  std::vector<std::vector<double>> phrase_concept_url_weights_;
+};
+
+}  // namespace rtr::datasets
+
+#endif  // RTR_DATASETS_QLOG_H_

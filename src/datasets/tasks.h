@@ -1,0 +1,39 @@
+#ifndef RTR_DATASETS_TASKS_H_
+#define RTR_DATASETS_TASKS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rtr::datasets {
+
+// One evaluation query: the query node(s), the reserved ground-truth nodes to
+// re-discover, restricted to results of `target_type` (Sect. VI-A: "we filter
+// out the query node itself and nodes not of the target type").
+struct EvalQuery {
+  Query query_nodes;
+  std::vector<NodeId> ground_truth;
+};
+
+// A ranking task in the paper's benchmark methodology (Sect. VI-A): ground
+// truth nodes are known by construction, and *all direct edges between each
+// query and its ground-truth nodes are removed* from the evaluation graph.
+//
+// The removal is applied jointly for all sampled queries so that every
+// proximity measure — including those needing whole-graph precomputation —
+// can be evaluated on one shared graph. With a few hundred queries on a
+// 10^4..10^5-node graph the perturbation from joint removal is negligible,
+// and all measures see the identical graph, keeping comparisons fair.
+struct EvalTaskSet {
+  std::string name;           // e.g., "Task 1 (Author)"
+  Graph graph;                // evaluation graph, ground-truth edges removed
+  NodeTypeId target_type = kUntypedNode;
+  std::vector<EvalQuery> test_queries;
+  std::vector<EvalQuery> dev_queries;  // for tuning the specificity bias
+};
+
+}  // namespace rtr::datasets
+
+#endif  // RTR_DATASETS_TASKS_H_

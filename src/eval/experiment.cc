@@ -1,0 +1,136 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rtr::eval {
+
+std::vector<NodeId> FilteredRanking(const Graph& g,
+                                    const std::vector<double>& scores,
+                                    const Query& query,
+                                    NodeTypeId target_type, size_t limit) {
+  CHECK_EQ(scores.size(), g.num_nodes());
+  std::unordered_set<NodeId> query_set(query.begin(), query.end());
+  std::vector<NodeId> ids;
+  ids.reserve(scores.size());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node_type(v) != target_type) continue;
+    if (query_set.count(v)) continue;
+    ids.push_back(v);
+  }
+  size_t keep = std::min(limit, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+double QueryNdcg(const Graph& g, ranking::ProximityMeasure& measure,
+                 const datasets::EvalQuery& query, NodeTypeId target_type,
+                 size_t k) {
+  std::vector<double> scores = measure.Score(query.query_nodes);
+  std::vector<NodeId> ranked =
+      FilteredRanking(g, scores, query.query_nodes, target_type, k);
+  return NdcgAtK(ranked, query.ground_truth, k);
+}
+
+std::vector<double> PerQueryNdcg(
+    const Graph& g, ranking::ProximityMeasure& measure,
+    const std::vector<datasets::EvalQuery>& queries, NodeTypeId target_type,
+    size_t k) {
+  std::vector<double> values;
+  values.reserve(queries.size());
+  for (const datasets::EvalQuery& query : queries) {
+    values.push_back(QueryNdcg(g, measure, query, target_type, k));
+  }
+  return values;
+}
+
+double MeanNdcg(const Graph& g, ranking::ProximityMeasure& measure,
+                const datasets::EvalTaskSet& task, size_t k) {
+  std::vector<double> values =
+      PerQueryNdcg(g, measure, task.test_queries, task.target_type, k);
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : values) sum += x;
+  return sum / static_cast<double>(values.size());
+}
+
+std::vector<double> DefaultBetaGrid() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+double TuneBeta(const datasets::EvalTaskSet& task,
+                const MeasureFactory& make_measure,
+                const std::vector<double>& beta_grid) {
+  CHECK(!beta_grid.empty());
+  if (task.dev_queries.empty()) return 0.5;
+  // Instantiate one measure per grid point and iterate queries in the outer
+  // loop: measures built on a shared FTScorer then hit its per-query cache
+  // across the whole grid.
+  std::vector<std::unique_ptr<ranking::ProximityMeasure>> measures;
+  measures.reserve(beta_grid.size());
+  for (double beta : beta_grid) measures.push_back(make_measure(beta));
+  std::vector<double> totals(beta_grid.size(), 0.0);
+  for (const datasets::EvalQuery& query : task.dev_queries) {
+    for (size_t i = 0; i < measures.size(); ++i) {
+      totals[i] +=
+          QueryNdcg(task.graph, *measures[i], query, task.target_type, 5);
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < totals.size(); ++i) {
+    if (totals[i] > totals[best] + 1e-12) best = i;
+  }
+  return beta_grid[best];
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CHECK_EQ(cells.size(), rows_.front().size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) line += "  ";
+      std::string cell = rows_[r][c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        if (c > 0) rule += "--";
+        rule += std::string(widths[c], '-');
+      }
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace rtr::eval

@@ -1,0 +1,71 @@
+#ifndef RTR_EVAL_EXPERIMENT_H_
+#define RTR_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/tasks.h"
+#include "eval/metrics.h"
+#include "graph/graph.h"
+#include "ranking/measure.h"
+
+namespace rtr::eval {
+
+// Produces the filtered ranking of Sect. VI-A for one query: nodes ordered
+// by score, keeping only nodes of `target_type` and dropping the query
+// nodes themselves. At most `limit` entries are returned.
+std::vector<NodeId> FilteredRanking(const Graph& g,
+                                    const std::vector<double>& scores,
+                                    const Query& query,
+                                    NodeTypeId target_type, size_t limit);
+
+// NDCG@k of one measure on one query of a task.
+double QueryNdcg(const Graph& g, ranking::ProximityMeasure& measure,
+                 const datasets::EvalQuery& query, NodeTypeId target_type,
+                 size_t k);
+
+// Per-query NDCG@k of a measure over a query set (the unit for paired
+// t-tests).
+std::vector<double> PerQueryNdcg(const Graph& g,
+                                 ranking::ProximityMeasure& measure,
+                                 const std::vector<datasets::EvalQuery>& queries,
+                                 NodeTypeId target_type, size_t k);
+
+// Mean NDCG@k over the task's test queries.
+double MeanNdcg(const Graph& g, ranking::ProximityMeasure& measure,
+                const datasets::EvalTaskSet& task, size_t k);
+
+// Selects the specificity bias on the task's development queries
+// (Sect. VI-A2): evaluates `make_measure(beta)` at each grid point by mean
+// NDCG@5 on dev queries and returns the argmax (ties to the smaller beta).
+// Falls back to 0.5 when the task has no dev queries.
+using MeasureFactory =
+    std::function<std::unique_ptr<ranking::ProximityMeasure>(double beta)>;
+
+double TuneBeta(const datasets::EvalTaskSet& task,
+                const MeasureFactory& make_measure,
+                const std::vector<double>& beta_grid);
+
+// Default grid {0, 0.1, ..., 1}.
+std::vector<double> DefaultBetaGrid();
+
+// Minimal fixed-width table printer for the bench binaries (mimics the
+// layout of the paper's figures).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> cells);
+  // Renders with aligned columns to stdout.
+  void Print() const;
+
+  static std::string FormatDouble(double value, int precision = 4);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtr::eval
+
+#endif  // RTR_EVAL_EXPERIMENT_H_

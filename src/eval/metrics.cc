@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rtr::eval {
+
+double NdcgAtK(const std::vector<NodeId>& ranked,
+               const std::vector<NodeId>& ground_truth, size_t k) {
+  if (ground_truth.empty()) return 0.0;
+  std::unordered_set<NodeId> relevant(ground_truth.begin(),
+                                      ground_truth.end());
+  double dcg = 0.0;
+  size_t limit = std::min(k, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranked[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  size_t ideal = std::min(k, relevant.size());
+  for (size_t i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double PrecisionAtK(const std::vector<NodeId>& ranked,
+                    const std::vector<NodeId>& reference, size_t k) {
+  if (reference.empty() || k == 0) return 0.0;
+  std::unordered_set<NodeId> expected(reference.begin(), reference.end());
+  size_t limit = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (expected.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(std::min(k, expected.size()));
+}
+
+double KendallTauAgainstScores(const std::vector<NodeId>& ranked,
+                               const std::vector<double>& scores) {
+  if (ranked.size() < 2) return 1.0;
+  long long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    CHECK_LT(ranked[i], scores.size());
+    for (size_t j = i + 1; j < ranked.size(); ++j) {
+      double si = scores[ranked[i]];
+      double sj = scores[ranked[j]];
+      if (si > sj) {
+        ++concordant;
+      } else if (si < sj) {
+        ++discordant;
+      }
+    }
+  }
+  double total =
+      static_cast<double>(ranked.size()) * (ranked.size() - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / total;
+}
+
+}  // namespace rtr::eval

@@ -1,0 +1,32 @@
+#ifndef RTR_EVAL_METRICS_H_
+#define RTR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rtr::eval {
+
+// NDCG@K with ungraded (binary) judgments, as in Sect. VI-A: relevance 1 for
+// ground-truth nodes, 0 otherwise; DCG discount 1/log2(rank+1) with ranks
+// starting at 1. The ideal DCG places all |ground_truth| relevant items
+// first. Returns 0 when the ground truth is empty.
+double NdcgAtK(const std::vector<NodeId>& ranked,
+               const std::vector<NodeId>& ground_truth, size_t k);
+
+// Fraction of `reference` found within the first k entries of `ranked`
+// (set-based precision of an approximate top-K against the exact top-K,
+// Fig. 11(b)).
+double PrecisionAtK(const std::vector<NodeId>& ranked,
+                    const std::vector<NodeId>& reference, size_t k);
+
+// Kendall tau-a of the order of `ranked` against the ordering induced by
+// `scores` (higher score = earlier): (concordant - discordant) / total
+// pairs, ties contributing zero. Returns 1 for lists shorter than 2.
+double KendallTauAgainstScores(const std::vector<NodeId>& ranked,
+                               const std::vector<double>& scores);
+
+}  // namespace rtr::eval
+
+#endif  // RTR_EVAL_METRICS_H_

@@ -1,0 +1,111 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rtr {
+
+GraphBuilder::GraphBuilder() { type_names_.push_back("untyped"); }
+
+NodeTypeId GraphBuilder::AddNodeType(std::string_view name) {
+  for (size_t i = 0; i < type_names_.size(); ++i) {
+    if (type_names_[i] == name) return static_cast<NodeTypeId>(i);
+  }
+  type_names_.emplace_back(name);
+  return static_cast<NodeTypeId>(type_names_.size() - 1);
+}
+
+NodeId GraphBuilder::AddNode(NodeTypeId type) {
+  DCHECK_LT(type, type_names_.size());
+  node_types_.push_back(type);
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+NodeId GraphBuilder::AddNodes(size_t count, NodeTypeId type) {
+  CHECK_GT(count, 0u);
+  NodeId first = static_cast<NodeId>(node_types_.size());
+  node_types_.insert(node_types_.end(), count, type);
+  return first;
+}
+
+void GraphBuilder::AddDirectedEdge(NodeId u, NodeId v, double w) {
+  DCHECK_LT(u, num_nodes());
+  DCHECK_LT(v, num_nodes());
+  DCHECK_GT(w, 0.0);
+  arcs_.push_back({u, v, w});
+}
+
+void GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, double w) {
+  AddDirectedEdge(u, v, w);
+  AddDirectedEdge(v, u, w);
+}
+
+StatusOr<Graph> GraphBuilder::Build() const {
+  const size_t n = num_nodes();
+  for (const StagedArc& arc : arcs_) {
+    if (arc.source >= n || arc.target >= n) {
+      return Status::InvalidArgument("arc endpoint out of range");
+    }
+    if (!(arc.weight > 0.0)) {
+      return Status::InvalidArgument("arc weight must be positive");
+    }
+  }
+
+  // Sort by (source, target) and merge parallel arcs.
+  std::vector<StagedArc> sorted = arcs_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StagedArc& a, const StagedArc& b) {
+              if (a.source != b.source) return a.source < b.source;
+              return a.target < b.target;
+            });
+  std::vector<StagedArc> merged;
+  merged.reserve(sorted.size());
+  for (const StagedArc& arc : sorted) {
+    if (!merged.empty() && merged.back().source == arc.source &&
+        merged.back().target == arc.target) {
+      merged.back().weight += arc.weight;
+    } else {
+      merged.push_back(arc);
+    }
+  }
+
+  Graph g;
+  g.node_types_ = node_types_;
+  g.type_names_ = type_names_;
+
+  // Out-CSR with transition probabilities.
+  g.out_offsets_.assign(n + 1, 0);
+  for (const StagedArc& arc : merged) g.out_offsets_[arc.source + 1]++;
+  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
+                   g.out_offsets_.begin());
+  g.out_weights_.assign(n, 0.0);
+  for (const StagedArc& arc : merged) g.out_weights_[arc.source] += arc.weight;
+
+  g.out_arcs_.resize(merged.size());
+  {
+    std::vector<size_t> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+    for (const StagedArc& arc : merged) {
+      double prob = arc.weight / g.out_weights_[arc.source];
+      g.out_arcs_[cursor[arc.source]++] = {arc.target, arc.weight, prob};
+    }
+  }
+
+  // In-CSR mirroring the same probabilities.
+  g.in_offsets_.assign(n + 1, 0);
+  for (const StagedArc& arc : merged) g.in_offsets_[arc.target + 1]++;
+  std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
+                   g.in_offsets_.begin());
+  g.in_arcs_.resize(merged.size());
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const StagedArc& arc : merged) {
+      double prob = arc.weight / g.out_weights_[arc.source];
+      g.in_arcs_[cursor[arc.target]++] = {arc.source, arc.weight, prob};
+    }
+  }
+
+  return g;
+}
+
+}  // namespace rtr

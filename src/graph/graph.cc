@@ -1,0 +1,45 @@
+#include "graph/graph.h"
+
+#include "graph/builder.h"
+
+namespace rtr {
+
+double Graph::TransitionProb(NodeId u, NodeId v) const {
+  for (const OutArc& arc : out_arcs(u)) {
+    if (arc.target == v) return arc.prob;
+  }
+  return 0.0;
+}
+
+std::vector<NodeId> Graph::NodesOfType(NodeTypeId t) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (node_types_[v] == t) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+Graph UniformWeightCopy(const Graph& g) {
+  GraphBuilder builder;
+  for (const std::string& name : g.type_names()) builder.AddNodeType(name);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) builder.AddNode(g.node_type(v));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const OutArc& arc : g.out_arcs(v)) {
+      builder.AddDirectedEdge(v, arc.target, 1.0);
+    }
+  }
+  return builder.Build().value();
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = 0;
+  bytes += node_types_.size() * sizeof(NodeTypeId);
+  bytes += out_offsets_.size() * sizeof(size_t);
+  bytes += out_arcs_.size() * sizeof(OutArc);
+  bytes += out_weights_.size() * sizeof(double);
+  bytes += in_offsets_.size() * sizeof(size_t);
+  bytes += in_arcs_.size() * sizeof(InArc);
+  return bytes;
+}
+
+}  // namespace rtr

@@ -1,0 +1,116 @@
+#ifndef RTR_GRAPH_GRAPH_H_
+#define RTR_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+// Immutable directed weighted graph in CSR form, with both out- and
+// in-adjacency and precomputed row-stochastic transition probabilities.
+//
+// Random-walk semantics (Sect. III of the paper): from node v the surfer
+// moves to out-neighbor u with probability M[v][u] = w(v,u) / sum_u' w(v,u').
+// Undirected edges are materialized as two arcs by the builder. Nodes with no
+// out-arcs are "dangling": the walk terminates there (no mass redistributed),
+// matching the iterative formulations in Eqs. 5 and 8.
+//
+// Construct via GraphBuilder::Build().
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  size_t num_nodes() const { return node_types_.size(); }
+  // Number of directed arcs (an undirected edge counts twice).
+  size_t num_arcs() const { return out_arcs_.size(); }
+
+  NodeTypeId node_type(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return node_types_[v];
+  }
+
+  // Registered type names; index is the NodeTypeId.
+  const std::vector<std::string>& type_names() const { return type_names_; }
+  const std::string& type_name(NodeTypeId t) const {
+    DCHECK_LT(t, type_names_.size());
+    return type_names_[t];
+  }
+
+  size_t out_degree(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t in_degree(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  std::span<const OutArc> out_arcs(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {out_arcs_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const InArc> in_arcs(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {in_arcs_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  // Total outgoing weight of v (0 for dangling nodes).
+  double out_weight(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return out_weights_[v];
+  }
+
+  // One-step transition probability M[u][v]; 0 if the arc does not exist.
+  // O(out_degree(u)) lookup, intended for tests and small-scale tools.
+  double TransitionProb(NodeId u, NodeId v) const;
+
+  // All nodes of the given type, in id order.
+  std::vector<NodeId> NodesOfType(NodeTypeId t) const;
+
+  // Approximate resident size of the CSR structures in bytes; this is the
+  // "snapshot size" metric of Fig. 12.
+  size_t MemoryBytes() const;
+
+  // Average total degree (arcs / nodes), the D-bar of Sect. V-B1.
+  double AverageDegree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(num_arcs()) /
+                     static_cast<double>(num_nodes());
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::string> type_names_;
+
+  std::vector<size_t> out_offsets_;  // size num_nodes()+1
+  std::vector<OutArc> out_arcs_;
+  std::vector<double> out_weights_;
+
+  std::vector<size_t> in_offsets_;  // size num_nodes()+1
+  std::vector<InArc> in_arcs_;
+};
+
+// Returns a copy of `g` with every arc's weight replaced by 1 (transition
+// probabilities become uniform over out-arcs). This is the authority-flow
+// view used by the ObjectRank family, which transfers authority by link
+// structure alone rather than by content-derived edge weights.
+Graph UniformWeightCopy(const Graph& g);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_GRAPH_H_

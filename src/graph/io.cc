@@ -1,0 +1,88 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "graph/builder.h"
+
+namespace rtr {
+
+Status SaveGraphText(const Graph& g, std::ostream& out) {
+  out << "rtr-graph 1\n";
+  out << g.type_names().size() << "\n";
+  for (const std::string& name : g.type_names()) out << name << "\n";
+  out << g.num_nodes() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << g.node_type(v) << "\n";
+  }
+  out << g.num_arcs() << "\n";
+  out.precision(17);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const OutArc& arc : g.out_arcs(v)) {
+      out << v << " " << arc.target << " " << arc.weight << "\n";
+    }
+  }
+  if (!out) return Status::IoError("failed writing graph stream");
+  return Status::OK();
+}
+
+Status SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return SaveGraphText(g, out);
+}
+
+StatusOr<Graph> LoadGraphText(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "rtr-graph" || version != 1) {
+    return Status::IoError("bad graph header");
+  }
+  size_t num_types = 0;
+  if (!(in >> num_types) || num_types == 0) {
+    return Status::IoError("bad type count");
+  }
+  GraphBuilder builder;
+  for (size_t i = 0; i < num_types; ++i) {
+    std::string name;
+    if (!(in >> name)) return Status::IoError("bad type name");
+    if (i == 0) {
+      // Type 0 is pre-registered; names must agree.
+      if (name != "untyped") {
+        return Status::IoError("type 0 must be 'untyped'");
+      }
+      continue;
+    }
+    builder.AddNodeType(name);
+  }
+  size_t num_nodes = 0;
+  if (!(in >> num_nodes)) return Status::IoError("bad node count");
+  for (size_t i = 0; i < num_nodes; ++i) {
+    unsigned type = 0;
+    if (!(in >> type) || type >= num_types) {
+      return Status::IoError("bad node type");
+    }
+    builder.AddNode(static_cast<NodeTypeId>(type));
+  }
+  size_t num_arcs = 0;
+  if (!(in >> num_arcs)) return Status::IoError("bad arc count");
+  for (size_t i = 0; i < num_arcs; ++i) {
+    NodeId u = 0, v = 0;
+    double w = 0.0;
+    if (!(in >> u >> v >> w)) return Status::IoError("bad arc line");
+    if (u >= num_nodes || v >= num_nodes || !(w > 0.0)) {
+      return Status::IoError("invalid arc");
+    }
+    builder.AddDirectedEdge(u, v, w);
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  return LoadGraphText(in);
+}
+
+}  // namespace rtr

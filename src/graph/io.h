@@ -1,0 +1,31 @@
+#ifndef RTR_GRAPH_IO_H_
+#define RTR_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rtr {
+
+// Text serialization of a Graph. Format (whitespace separated):
+//
+//   rtr-graph 1
+//   <num_types>
+//   <type_name> x num_types
+//   <num_nodes>
+//   <node_type_id> x num_nodes
+//   <num_arcs>
+//   <source> <target> <weight> x num_arcs
+//
+// Transition probabilities are derived, not stored.
+Status SaveGraphText(const Graph& g, std::ostream& out);
+Status SaveGraphToFile(const Graph& g, const std::string& path);
+
+StatusOr<Graph> LoadGraphText(std::istream& in);
+StatusOr<Graph> LoadGraphFromFile(const std::string& path);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_IO_H_

@@ -1,0 +1,112 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace rtr {
+
+SccResult ComputeScc(const Graph& g) {
+  const size_t n = g.num_nodes();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+
+  // Explicit DFS frame: node and position within its out-arc list.
+  struct Frame {
+    NodeId node;
+    size_t arc_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      NodeId v = frame.node;
+      if (frame.arc_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      auto arcs = g.out_arcs(v);
+      while (frame.arc_pos < arcs.size()) {
+        NodeId w = arcs[frame.arc_pos].target;
+        ++frame.arc_pos;
+        if (index[w] == -1) {
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // v is finished.
+      if (lowlink[v] == index[v]) {
+        int comp = result.num_components++;
+        for (;;) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = comp;
+          if (w == v) break;
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        NodeId parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+bool IsStronglyConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ComputeScc(g).num_components == 1;
+}
+
+StatusOr<Graph> MakeIrreducible(const Graph& g, double epsilon_weight) {
+  if (!(epsilon_weight > 0.0)) {
+    return Status::InvalidArgument("epsilon_weight must be positive");
+  }
+  SccResult scc = ComputeScc(g);
+  if (scc.num_components <= 1) return g;
+
+  // One representative node per component.
+  std::vector<NodeId> representative(scc.num_components, kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (representative[scc.component[v]] == kInvalidNode) {
+      representative[scc.component[v]] = v;
+    }
+  }
+
+  // Rebuild with the original arcs plus a cycle over the representatives.
+  // Tarjan numbering is a reverse topological order of the condensation, so
+  // chaining representatives in component order plus a closing arc yields a
+  // strongly connected condensation.
+  GraphBuilder builder;
+  for (const std::string& name : g.type_names()) builder.AddNodeType(name);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) builder.AddNode(g.node_type(v));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const OutArc& arc : g.out_arcs(v)) {
+      builder.AddDirectedEdge(v, arc.target, arc.weight);
+    }
+  }
+  for (int c = 0; c < scc.num_components; ++c) {
+    int next = (c + 1) % scc.num_components;
+    builder.AddDirectedEdge(representative[c], representative[next],
+                            epsilon_weight);
+  }
+  return builder.Build();
+}
+
+}  // namespace rtr

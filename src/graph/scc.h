@@ -1,0 +1,41 @@
+#ifndef RTR_GRAPH_SCC_H_
+#define RTR_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rtr {
+
+// Strongly connected components of a directed graph.
+struct SccResult {
+  // component[v] is the SCC index of node v, in reverse topological order of
+  // the condensation (Tarjan numbering: a component is finished before any
+  // component that can reach it... specifically, if there is an arc from
+  // component A to component B (A != B), then component[A] > component[B]).
+  std::vector<int> component;
+  int num_components = 0;
+};
+
+// Computes SCCs with an iterative Tarjan algorithm (no recursion, safe for
+// million-node graphs).
+SccResult ComputeScc(const Graph& g);
+
+// True when the graph is irreducible (a single SCC). The paper requires
+// irreducibility so that t(q, v) > 0 whenever f(q, v) > 0 (Sect. III-B).
+bool IsStronglyConnected(const Graph& g);
+
+// Returns a copy of `g` made irreducible by adding epsilon-weight dummy
+// edges: one representative per SCC is chained into a cycle following the
+// condensation's topological order, which makes the condensation (hence the
+// graph) strongly connected while adding only num_components arcs.
+//
+// `epsilon_weight` should be far below real edge weights (default 1e-3) so
+// the dummy arcs carry negligible probability. A graph that is already
+// irreducible is returned unchanged.
+StatusOr<Graph> MakeIrreducible(const Graph& g, double epsilon_weight = 1e-3);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_SCC_H_

@@ -1,0 +1,82 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace rtr {
+
+StatusOr<Subgraph> InducedSubgraph(const Graph& parent,
+                                   const std::vector<NodeId>& nodes) {
+  for (NodeId v : nodes) {
+    if (v >= parent.num_nodes()) {
+      return Status::InvalidArgument("subgraph node out of range");
+    }
+  }
+
+  Subgraph sub;
+  sub.from_parent.assign(parent.num_nodes(), kInvalidNode);
+
+  GraphBuilder builder;
+  for (const std::string& name : parent.type_names()) {
+    builder.AddNodeType(name);
+  }
+  for (NodeId old_id : nodes) {
+    if (sub.from_parent[old_id] != kInvalidNode) continue;  // duplicate
+    NodeId new_id = builder.AddNode(parent.node_type(old_id));
+    sub.from_parent[old_id] = new_id;
+    sub.to_parent.push_back(old_id);
+  }
+  for (NodeId old_id : sub.to_parent) {
+    NodeId new_source = sub.from_parent[old_id];
+    for (const OutArc& arc : parent.out_arcs(old_id)) {
+      NodeId new_target = sub.from_parent[arc.target];
+      if (new_target == kInvalidNode) continue;
+      builder.AddDirectedEdge(new_source, new_target, arc.weight);
+    }
+  }
+  StatusOr<Graph> graph = builder.Build();
+  RTR_RETURN_IF_ERROR(graph.status());
+  sub.graph = std::move(graph).value();
+  return sub;
+}
+
+std::vector<NodeId> KHopNeighborhood(const Graph& g,
+                                     const std::vector<NodeId>& seeds,
+                                     int hops) {
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> result;
+  for (NodeId s : seeds) {
+    CHECK_LT(s, g.num_nodes());
+    if (!visited[s]) {
+      visited[s] = true;
+      frontier.push_back(s);
+      result.push_back(s);
+    }
+  }
+  for (int hop = 0; hop < hops && !frontier.empty(); ++hop) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (const OutArc& arc : g.out_arcs(v)) {
+        if (!visited[arc.target]) {
+          visited[arc.target] = true;
+          next.push_back(arc.target);
+          result.push_back(arc.target);
+        }
+      }
+      for (const InArc& arc : g.in_arcs(v)) {
+        if (!visited[arc.source]) {
+          visited[arc.source] = true;
+          next.push_back(arc.source);
+          result.push_back(arc.source);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace rtr

@@ -1,0 +1,38 @@
+#ifndef RTR_GRAPH_SUBGRAPH_H_
+#define RTR_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rtr {
+
+// A subgraph together with the node-id mappings to/from the parent graph.
+struct Subgraph {
+  Graph graph;
+  // new id -> old id; size == graph.num_nodes().
+  std::vector<NodeId> to_parent;
+  // old id -> new id, or kInvalidNode when the node is not in the subgraph;
+  // size == parent.num_nodes().
+  std::vector<NodeId> from_parent;
+};
+
+// Builds the subgraph induced by `nodes` (duplicates ignored): keeps exactly
+// the arcs whose both endpoints are selected, with their original weights
+// (transition probabilities are re-normalized over the kept arcs, as happens
+// when the paper evaluates on hand-picked subgraphs).
+StatusOr<Subgraph> InducedSubgraph(const Graph& parent,
+                                   const std::vector<NodeId>& nodes);
+
+// Nodes reachable from `seeds` within `hops` steps, treating every arc as
+// traversable in both directions (the paper's QLog subgraph construction:
+// "start with 200 random nodes, and expand to their neighbors for three
+// hops"). Includes the seeds.
+std::vector<NodeId> KHopNeighborhood(const Graph& g,
+                                     const std::vector<NodeId>& seeds,
+                                     int hops);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_SUBGRAPH_H_

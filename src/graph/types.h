@@ -1,0 +1,43 @@
+#ifndef RTR_GRAPH_TYPES_H_
+#define RTR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rtr {
+
+// Dense node identifier. Nodes are numbered 0..n-1 by the GraphBuilder.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// Per-graph node type (e.g., paper/author/term/venue on BibNet, phrase/url on
+// QLog). Type names are registered on the builder and carried by the graph.
+using NodeTypeId = uint16_t;
+
+inline constexpr NodeTypeId kUntypedNode = 0;
+
+// A directed arc leaving a node, with its raw weight and the row-stochastic
+// one-step transition probability M[source][target].
+struct OutArc {
+  NodeId target = kInvalidNode;
+  double weight = 0.0;
+  double prob = 0.0;
+};
+
+// A directed arc entering a node; `prob` is the transition probability
+// M[source][this], i.e., normalized by the *source's* total out-weight.
+struct InArc {
+  NodeId source = kInvalidNode;
+  double weight = 0.0;
+  double prob = 0.0;
+};
+
+// Query: one or more nodes; proximity for multi-node queries follows the
+// Linearity Theorem (uniform mixture over the query nodes).
+using Query = std::vector<NodeId>;
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_TYPES_H_

@@ -1,0 +1,59 @@
+#include "ranking/adamic_adar.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rtr::ranking {
+namespace {
+
+class AdamicAdarMeasure : public ProximityMeasure {
+ public:
+  explicit AdamicAdarMeasure(const Graph& g) : graph_(g) {
+    // Undirected adjacency (out ∪ in, deduplicated), built once.
+    neighbors_.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::unordered_set<NodeId> set;
+      for (const OutArc& arc : g.out_arcs(v)) set.insert(arc.target);
+      for (const InArc& arc : g.in_arcs(v)) set.insert(arc.source);
+      neighbors_[v].assign(set.begin(), set.end());
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<double> Score(const Query& query) override {
+    CHECK(!query.empty());
+    std::vector<double> scores(graph_.num_nodes(), 0.0);
+    for (NodeId q : query) {
+      CHECK_LT(q, graph_.num_nodes());
+      for (NodeId u : neighbors_[q]) {
+        size_t degree = neighbors_[u].size();
+        if (degree < 2) continue;  // log(1) = 0 would blow up; u adds nothing
+        double contribution = 1.0 / std::log(static_cast<double>(degree));
+        for (NodeId v : neighbors_[u]) {
+          scores[v] += contribution;
+        }
+      }
+    }
+    double norm = 1.0 / static_cast<double>(query.size());
+    for (double& s : scores) s *= norm;
+    return scores;
+  }
+
+ private:
+  const Graph& graph_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::string name_ = "AdamicAdar";
+};
+
+}  // namespace
+
+std::unique_ptr<ProximityMeasure> MakeAdamicAdarMeasure(const Graph& g) {
+  return std::make_unique<AdamicAdarMeasure>(g);
+}
+
+}  // namespace rtr::ranking

@@ -1,0 +1,18 @@
+#ifndef RTR_RANKING_ADAMIC_ADAR_H_
+#define RTR_RANKING_ADAMIC_ADAR_H_
+
+#include <memory>
+
+#include "ranking/measure.h"
+
+namespace rtr::ranking {
+
+// Adamic-Adar [7]: score(q, v) = sum over common undirected neighbors u of
+// 1 / log(degree(u)). A "closeness" baseline with no finer importance /
+// specificity interpretation (Fig. 5). Multi-node queries average the
+// per-query-node scores.
+std::unique_ptr<ProximityMeasure> MakeAdamicAdarMeasure(const Graph& g);
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_ADAMIC_ADAR_H_

@@ -1,0 +1,81 @@
+#include "ranking/combinators.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rtr::ranking {
+namespace {
+
+// Applies a binary combination of the f and t vectors.
+template <typename Combine>
+class FTCombinatorMeasure : public ProximityMeasure {
+ public:
+  FTCombinatorMeasure(std::shared_ptr<FTScorer> scorer, std::string name,
+                      Combine combine)
+      : scorer_(std::move(scorer)),
+        name_(std::move(name)),
+        combine_(std::move(combine)) {
+    CHECK(scorer_ != nullptr);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<double> Score(const Query& query) override {
+    const FTVectors& ft = scorer_->Compute(query);
+    std::vector<double> scores(ft.f.size());
+    for (size_t v = 0; v < scores.size(); ++v) {
+      scores[v] = combine_(ft.f[v], ft.t[v]);
+    }
+    return scores;
+  }
+
+ private:
+  std::shared_ptr<FTScorer> scorer_;
+  std::string name_;
+  Combine combine_;
+};
+
+template <typename Combine>
+std::unique_ptr<ProximityMeasure> MakeCombinator(
+    std::shared_ptr<FTScorer> scorer, std::string name, Combine combine) {
+  return std::make_unique<FTCombinatorMeasure<Combine>>(
+      std::move(scorer), std::move(name), std::move(combine));
+}
+
+}  // namespace
+
+std::unique_ptr<ProximityMeasure> MakeFRankMeasure(
+    std::shared_ptr<FTScorer> scorer) {
+  return MakeCombinator(std::move(scorer), "F-Rank/PPR",
+                        [](double f, double) { return f; });
+}
+
+std::unique_ptr<ProximityMeasure> MakeTRankMeasure(
+    std::shared_ptr<FTScorer> scorer) {
+  return MakeCombinator(std::move(scorer), "T-Rank",
+                        [](double, double t) { return t; });
+}
+
+std::unique_ptr<ProximityMeasure> MakeArithmeticMeasure(
+    std::shared_ptr<FTScorer> scorer, double beta, std::string name) {
+  CHECK_GE(beta, 0.0);
+  CHECK_LE(beta, 1.0);
+  return MakeCombinator(std::move(scorer), std::move(name),
+                        [beta](double f, double t) {
+                          return (1.0 - beta) * f + beta * t;
+                        });
+}
+
+std::unique_ptr<ProximityMeasure> MakeHarmonicMeasure(
+    std::shared_ptr<FTScorer> scorer, double beta, std::string name) {
+  CHECK_GE(beta, 0.0);
+  CHECK_LE(beta, 1.0);
+  return MakeCombinator(std::move(scorer), std::move(name),
+                        [beta](double f, double t) {
+                          if (f <= 0.0 || t <= 0.0) return 0.0;
+                          return 1.0 / ((1.0 - beta) / f + beta / t);
+                        });
+}
+
+}  // namespace rtr::ranking

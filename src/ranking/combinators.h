@@ -1,0 +1,41 @@
+#ifndef RTR_RANKING_COMBINATORS_H_
+#define RTR_RANKING_COMBINATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "ranking/measure.h"
+#include "ranking/pagerank.h"
+
+namespace rtr::ranking {
+
+// Mono-sensed measures and the dual-sensed mean-style baselines of
+// Sect. VI-A2, all defined on the shared (f, t) vectors of an FTScorer.
+//
+// The customized "+" variants (Fig. 10) put weights (1-beta, beta) on the
+// two sub-measures; beta = 0.5 recovers the original fixed combination.
+
+// F-Rank / Personalized PageRank: importance only.
+std::unique_ptr<ProximityMeasure> MakeFRankMeasure(
+    std::shared_ptr<FTScorer> scorer);
+
+// T-Rank: specificity only (backward reachability to the query).
+std::unique_ptr<ProximityMeasure> MakeTRankMeasure(
+    std::shared_ptr<FTScorer> scorer);
+
+// Arithmetic combination (1-beta)*f + beta*t; "Arithmetic" of Fig. 9 is
+// beta = 0.5 (rank-equivalent to the plain arithmetic mean).
+std::unique_ptr<ProximityMeasure> MakeArithmeticMeasure(
+    std::shared_ptr<FTScorer> scorer, double beta = 0.5,
+    std::string name = "Arithmetic");
+
+// Weighted harmonic combination 1 / ((1-beta)/f + beta/t); zero when either
+// sense is zero. beta = 0.5 is rank-equivalent to the harmonic mean of
+// Agarwal et al. [12] / Fang & Chang [13].
+std::unique_ptr<ProximityMeasure> MakeHarmonicMeasure(
+    std::shared_ptr<FTScorer> scorer, double beta = 0.5,
+    std::string name = "Harmonic");
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_COMBINATORS_H_

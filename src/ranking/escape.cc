@@ -1,0 +1,79 @@
+#include "ranking/escape.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rtr::ranking {
+namespace {
+
+class EscapeProbabilityMeasure : public ProximityMeasure {
+ public:
+  EscapeProbabilityMeasure(const Graph& g, const EscapeParams& params)
+      : graph_(g), params_(params) {
+    CHECK_GT(params.num_walks, 0);
+    CHECK_GT(params.max_steps, 0);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<double> Score(const Query& query) override {
+    CHECK(!query.empty());
+    const size_t n = graph_.num_nodes();
+    std::vector<double> scores(n, 0.0);
+    std::vector<int> last_walk(n, -1);  // visited marker per walk id
+    for (NodeId q : query) {
+      CHECK_LT(q, n);
+      // Query-derived seed: results are independent of evaluation order.
+      Rng rng(params_.seed ^ (0x9e3779b97f4a7c15ULL * (q + 1)));
+      std::vector<double> hits(n, 0.0);
+      for (int walk = 0; walk < params_.num_walks; ++walk) {
+        NodeId current = q;
+        for (int step = 0; step < params_.max_steps; ++step) {
+          auto arcs = graph_.out_arcs(current);
+          if (arcs.empty()) break;  // the walk dies: no more visits
+          double u = rng.NextDouble();
+          double acc = 0.0;
+          NodeId next = arcs.back().target;
+          for (const OutArc& arc : arcs) {
+            acc += arc.prob;
+            if (u < acc) {
+              next = arc.target;
+              break;
+            }
+          }
+          current = next;
+          if (current == q) break;  // returned before visiting more nodes
+          if (last_walk[current] != walk) {
+            last_walk[current] = walk;
+            hits[current] += 1.0;
+          }
+        }
+      }
+      for (size_t v = 0; v < n; ++v) {
+        scores[v] += hits[v] / params_.num_walks;
+      }
+      scores[q] += 1.0;  // esc(q, q) = 1 by convention
+      std::fill(last_walk.begin(), last_walk.end(), -1);
+    }
+    double norm = 1.0 / static_cast<double>(query.size());
+    for (double& s : scores) s *= norm;
+    return scores;
+  }
+
+ private:
+  const Graph& graph_;
+  EscapeParams params_;
+  std::string name_ = "EscapeProbability";
+};
+
+}  // namespace
+
+std::unique_ptr<ProximityMeasure> MakeEscapeProbabilityMeasure(
+    const Graph& g, const EscapeParams& params) {
+  return std::make_unique<EscapeProbabilityMeasure>(g, params);
+}
+
+}  // namespace rtr::ranking

@@ -1,0 +1,35 @@
+#ifndef RTR_RANKING_ESCAPE_H_
+#define RTR_RANKING_ESCAPE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ranking/measure.h"
+
+namespace rtr::ranking {
+
+// Parameters of the escape-probability estimator.
+struct EscapeParams {
+  // Monte-Carlo walks per query node.
+  int num_walks = 2000;
+  // Walks are truncated here if they neither return nor die earlier.
+  int max_steps = 100;
+  uint64_t seed = 747;
+};
+
+// Escape probability (Koren et al. [9], Tong et al. [10]): the probability
+// that a random walk starting at the query visits v before returning to the
+// query. A mono-sensed "closeness" measure from the paper's related work
+// (Sect. II), implemented as an extension beyond the paper's evaluated
+// baselines.
+//
+// One sampled walk yields the visited-before-first-return indicator for
+// every node simultaneously, so the estimator costs O(walks * max_steps)
+// per query. esc(q, q) = 1 by convention. Deterministic under `seed`;
+// multi-node queries average the per-query-node estimates.
+std::unique_ptr<ProximityMeasure> MakeEscapeProbabilityMeasure(
+    const Graph& g, const EscapeParams& params = {});
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_ESCAPE_H_

@@ -1,0 +1,35 @@
+#include "ranking/measure.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rtr::ranking {
+
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores, size_t k,
+                              const std::vector<NodeId>& exclude) {
+  std::vector<bool> excluded;
+  if (!exclude.empty()) {
+    excluded.assign(scores.size(), false);
+    for (NodeId v : exclude) {
+      CHECK_LT(v, scores.size());
+      excluded[v] = true;
+    }
+  }
+  std::vector<NodeId> ids;
+  ids.reserve(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) {
+    if (!excluded.empty() && excluded[v]) continue;
+    ids.push_back(v);
+  }
+  size_t keep = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+}  // namespace rtr::ranking

@@ -1,0 +1,36 @@
+#ifndef RTR_RANKING_MEASURE_H_
+#define RTR_RANKING_MEASURE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rtr::ranking {
+
+// A graph-based proximity measure bound to one graph. Implementations may
+// hold per-graph precomputation (e.g., SimRank fingerprints) and per-query
+// caches; Score therefore is non-const.
+//
+// The returned vector has one entry per node; higher scores mean closer to
+// the query. Ties are broken downstream by node id.
+class ProximityMeasure {
+ public:
+  virtual ~ProximityMeasure() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Proximity of every node to `query` (one or more query nodes; multi-node
+  // queries follow the Linearity Theorem where applicable).
+  virtual std::vector<double> Score(const Query& query) = 0;
+};
+
+// Extracts the indices of the top-k entries of `scores` in decreasing score
+// order (ties by ascending node id), skipping entries listed in `exclude`.
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores, size_t k,
+                              const std::vector<NodeId>& exclude = {});
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_MEASURE_H_

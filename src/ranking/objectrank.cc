@@ -1,0 +1,96 @@
+#include "ranking/objectrank.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rtr::ranking {
+namespace {
+
+class ObjSqrtInvMeasure : public ProximityMeasure {
+ public:
+  ObjSqrtInvMeasure(std::shared_ptr<FTScorer> scorer, double f_exponent,
+                    double t_exponent, std::string name,
+                    std::shared_ptr<const Graph> owned_graph = nullptr)
+      : name_(std::move(name)),
+        f_exponent_(f_exponent),
+        t_exponent_(t_exponent),
+        owned_graph_(std::move(owned_graph)),
+        scorer_(std::move(scorer)) {
+    CHECK(scorer_ != nullptr);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<double> Score(const Query& query) override {
+    const FTVectors& ft = scorer_->Compute(query);
+    std::vector<double> scores(ft.f.size());
+    for (size_t v = 0; v < scores.size(); ++v) {
+      if (ft.f[v] <= 0.0 || ft.t[v] <= 0.0) {
+        // An exponent of zero keeps the other sense alone.
+        if (f_exponent_ == 0.0 && ft.t[v] > 0.0) {
+          scores[v] = std::pow(ft.t[v], t_exponent_);
+        } else if (t_exponent_ == 0.0 && ft.f[v] > 0.0) {
+          scores[v] = std::pow(ft.f[v], f_exponent_);
+        } else {
+          scores[v] = 0.0;
+        }
+        continue;
+      }
+      scores[v] =
+          std::pow(ft.f[v], f_exponent_) * std::pow(ft.t[v], t_exponent_);
+    }
+    return scores;
+  }
+
+ private:
+  std::string name_;
+  double f_exponent_;
+  double t_exponent_;
+  // The authority-flow (uniform-weight) view when built from a raw graph.
+  std::shared_ptr<const Graph> owned_graph_;
+  std::shared_ptr<FTScorer> scorer_;
+};
+
+// ObjectRank transfers authority by link structure alone (its per-edge-type
+// transfer rates are not derived from content weights), so the walk runs on
+// the uniform-weight view of the graph.
+std::unique_ptr<ObjSqrtInvMeasure> MakeFromRawGraph(
+    const Graph& g, const ObjSqrtInvParams& params, double f_exponent,
+    double t_exponent, std::string name) {
+  auto authority_view = std::make_shared<const Graph>(UniformWeightCopy(g));
+  WalkParams walk;
+  walk.alpha = params.damping;
+  walk.tolerance = params.tolerance;
+  walk.max_iterations = params.max_iterations;
+  auto scorer = std::make_shared<FTScorer>(*authority_view, walk);
+  return std::make_unique<ObjSqrtInvMeasure>(std::move(scorer), f_exponent,
+                                             t_exponent, std::move(name),
+                                             std::move(authority_view));
+}
+
+}  // namespace
+
+std::unique_ptr<ProximityMeasure> MakeObjSqrtInvMeasure(
+    const Graph& g, const ObjSqrtInvParams& params) {
+  return MakeFromRawGraph(g, params, 1.0, 0.5, "ObjSqrtInv");
+}
+
+std::unique_ptr<ProximityMeasure> MakeObjSqrtInvPlusMeasure(
+    const Graph& g, double beta, const ObjSqrtInvParams& params,
+    std::string name) {
+  CHECK_GE(beta, 0.0);
+  CHECK_LE(beta, 1.0);
+  return MakeFromRawGraph(g, params, 1.0 - beta, beta, std::move(name));
+}
+
+std::unique_ptr<ProximityMeasure> MakeObjSqrtInvPlusFromScorer(
+    std::shared_ptr<FTScorer> scorer, double beta, std::string name) {
+  CHECK_GE(beta, 0.0);
+  CHECK_LE(beta, 1.0);
+  return std::make_unique<ObjSqrtInvMeasure>(std::move(scorer), 1.0 - beta,
+                                             beta, std::move(name));
+}
+
+}  // namespace rtr::ranking

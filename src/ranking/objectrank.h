@@ -1,0 +1,48 @@
+#ifndef RTR_RANKING_OBJECTRANK_H_
+#define RTR_RANKING_OBJECTRANK_H_
+
+#include <memory>
+#include <string>
+
+#include "ranking/measure.h"
+#include "ranking/pagerank.h"
+
+namespace rtr::ranking {
+
+// ObjSqrtInv of Hristidis et al. [5]: the dual-sensed combination of
+// authority flow (ObjectRank, the importance sub-measure — equivalent to a
+// personalized random walk from the query with damping d) with Inverse
+// ObjectRank (the same walk on the reversed graph, their specificity
+// hypothesis). The fixed original combination is
+//
+//   score(q, v) = OR(q, v) * sqrt(IOR(q, v)),
+//
+// i.e., importance weighted by the square root of specificity. The paper
+// uses d = 0.25.
+struct ObjSqrtInvParams {
+  double damping = 0.25;
+  double tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+std::unique_ptr<ProximityMeasure> MakeObjSqrtInvMeasure(
+    const Graph& g, const ObjSqrtInvParams& params = {});
+
+// Customized "ObjSqrtInv+" (Fig. 10): weights (1-beta, beta) in the
+// exponents, OR^(1-beta) * IOR^beta; beta = 1/3 recovers the ranking of the
+// original (rank-equivalent: (OR * sqrt(IOR))^(2/3) = OR^(2/3) IOR^(1/3)).
+std::unique_ptr<ProximityMeasure> MakeObjSqrtInvPlusMeasure(
+    const Graph& g, double beta, const ObjSqrtInvParams& params = {},
+    std::string name = "ObjSqrtInv+");
+
+// Same, but sharing an externally owned FTScorer so a beta-grid sweep costs
+// one pair of power iterations per query. The scorer should be built on the
+// authority-flow view (UniformWeightCopy of the graph) with
+// WalkParams.alpha = the ObjectRank damping d.
+std::unique_ptr<ProximityMeasure> MakeObjSqrtInvPlusFromScorer(
+    std::shared_ptr<FTScorer> scorer, double beta,
+    std::string name = "ObjSqrtInv+");
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_OBJECTRANK_H_

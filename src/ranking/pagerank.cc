@@ -1,0 +1,81 @@
+#include "ranking/pagerank.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr::ranking {
+namespace {
+
+// Start distribution: uniform over the query nodes.
+std::vector<double> StartVector(const Graph& g, const Query& query) {
+  CHECK(!query.empty()) << "empty query";
+  std::vector<double> e(g.num_nodes(), 0.0);
+  double mass = 1.0 / static_cast<double>(query.size());
+  for (NodeId q : query) {
+    CHECK_LT(q, g.num_nodes());
+    e[q] += mass;
+  }
+  return e;
+}
+
+double L1Diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace
+
+std::vector<double> FRank(const Graph& g, const Query& query,
+                          const WalkParams& params) {
+  const std::vector<double> start = StartVector(g, query);
+  std::vector<double> f = start;  // alpha-scaling folded into the update
+  for (double& x : f) x *= params.alpha;
+  std::vector<double> next(g.num_nodes(), 0.0);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      double sum = 0.0;
+      for (const InArc& arc : g.in_arcs(v)) {
+        sum += arc.prob * f[arc.source];
+      }
+      next[v] = params.alpha * start[v] + (1.0 - params.alpha) * sum;
+    }
+    double diff = L1Diff(f, next);
+    f.swap(next);
+    if (diff < params.tolerance) break;
+  }
+  return f;
+}
+
+std::vector<double> TRank(const Graph& g, const Query& query,
+                          const WalkParams& params) {
+  const std::vector<double> start = StartVector(g, query);
+  std::vector<double> t = start;
+  for (double& x : t) x *= params.alpha;
+  std::vector<double> next(g.num_nodes(), 0.0);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      double sum = 0.0;
+      for (const OutArc& arc : g.out_arcs(v)) {
+        sum += arc.prob * t[arc.target];
+      }
+      next[v] = params.alpha * start[v] + (1.0 - params.alpha) * sum;
+    }
+    double diff = L1Diff(t, next);
+    t.swap(next);
+    if (diff < params.tolerance) break;
+  }
+  return t;
+}
+
+const FTVectors& FTScorer::Compute(const Query& query) {
+  if (has_cache_ && query == cached_query_) return cache_;
+  cache_.f = FRank(graph_, query, params_);
+  cache_.t = TRank(graph_, query, params_);
+  cached_query_ = query;
+  has_cache_ = true;
+  return cache_;
+}
+
+}  // namespace rtr::ranking

@@ -1,0 +1,75 @@
+#ifndef RTR_RANKING_PAGERANK_H_
+#define RTR_RANKING_PAGERANK_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rtr::ranking {
+
+// Parameters of the geometric random-walk model shared by F-Rank, T-Rank,
+// RoundTripRank and ObjectRank. The walk length L ~ Geo(alpha), i.e., the
+// surfer teleports with probability alpha per step (the paper uses
+// alpha = 0.25 throughout).
+struct WalkParams {
+  double alpha = 0.25;
+  // Power iteration stops when the L1 change drops below `tolerance` or
+  // after `max_iterations` passes, whichever first. The iteration is a
+  // (1-alpha)-contraction, so ~100 iterations reach 1e-12.
+  double tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+// F-Rank (Eq. 1/5): f(q, v) = p(W_L = v | W_0 = q), the probability that a
+// trip of geometric length from the query lands on v. Equivalent to
+// Personalized PageRank (Proposition 1). Multi-node queries start uniformly
+// at random from the query nodes (Linearity Theorem).
+//
+// Computed by power iteration on f = alpha*e_q + (1-alpha) * M^T f.
+std::vector<double> FRank(const Graph& g, const Query& query,
+                          const WalkParams& params = {});
+
+// T-Rank (Eq. 8): t(q, v) = p(W_L' = q | W_0 = v), the probability that a
+// trip of geometric length from v lands on the query — the paper's
+// specificity sense. Computed by power iteration on
+// t = alpha*e_q + (1-alpha) * M t.
+std::vector<double> TRank(const Graph& g, const Query& query,
+                          const WalkParams& params = {});
+
+// The F-Rank and T-Rank vectors of one query.
+struct FTVectors {
+  std::vector<double> f;
+  std::vector<double> t;
+};
+
+// Computes and caches (f, t) per query. Multiple measures built on the same
+// scorer (RoundTripRank, RoundTripRank+ sweeps, F-Rank, T-Rank, harmonic /
+// arithmetic combinations) share one pair of power iterations per query.
+class FTScorer {
+ public:
+  explicit FTScorer(const Graph& g, const WalkParams& params = {})
+      : graph_(g), params_(params) {}
+
+  FTScorer(const FTScorer&) = delete;
+  FTScorer& operator=(const FTScorer&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const WalkParams& params() const { return params_; }
+
+  // Returns the cached vectors, recomputing when `query` differs from the
+  // previous call. The reference stays valid until the next Compute call.
+  const FTVectors& Compute(const Query& query);
+
+ private:
+  const Graph& graph_;
+  WalkParams params_;
+  Query cached_query_;
+  bool has_cache_ = false;
+  FTVectors cache_;
+};
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_PAGERANK_H_

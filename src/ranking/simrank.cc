@@ -1,0 +1,127 @@
+#include "ranking/simrank.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rtr::ranking {
+namespace {
+
+class SimRankMeasure : public ProximityMeasure {
+ public:
+  SimRankMeasure(const Graph& g, const SimRankParams& params)
+      : graph_(g), params_(params) {
+    CHECK_GT(params.num_walks, 0);
+    CHECK_GT(params.walk_length, 0);
+    CHECK_GT(params.decay, 0.0);
+    CHECK_LT(params.decay, 1.0);
+    BuildFingerprints();
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<double> Score(const Query& query) override {
+    CHECK(!query.empty());
+    std::vector<double> scores(graph_.num_nodes(), 0.0);
+    const int steps = params_.walk_length + 1;  // positions include step 0
+    // Power table for C^tau.
+    std::vector<double> decay_pow(steps);
+    for (int s = 0; s < steps; ++s) decay_pow[s] = std::pow(params_.decay, s);
+
+    for (NodeId q : query) {
+      CHECK_LT(q, graph_.num_nodes());
+      for (int r = 0; r < params_.num_walks; ++r) {
+        // Two coupled walks meet at the first step s where they occupy the
+        // same node simultaneously; the pair then contributes C^s. Scanning
+        // every node's walk keeps this O(n * L) per (query, walk) pair.
+        for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+          if (v == q) {
+            scores[v] += 1.0;  // s(q, q) = 1
+            continue;
+          }
+          for (int s = 1; s < steps; ++s) {
+            NodeId walked_v = Position(v, r, s);
+            if (walked_v == kInvalidNode) break;
+            NodeId walked_q = Position(q, r, s);
+            if (walked_q == kInvalidNode) break;
+            if (walked_v == walked_q) {
+              scores[v] += decay_pow[s];
+              break;
+            }
+          }
+        }
+      }
+    }
+    double norm =
+        1.0 / (static_cast<double>(params_.num_walks) * query.size());
+    for (double& s : scores) s *= norm;
+    return scores;
+  }
+
+ private:
+  // positions_[r][s * n + v] = node where walk r from v is at step s.
+  // Stored flat; step 0 is omitted (it is v itself).
+  void BuildFingerprints() {
+    const size_t n = graph_.num_nodes();
+    // Per-node cumulative in-weights for weighted in-neighbor sampling.
+    std::vector<double> in_weight(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      for (const InArc& arc : graph_.in_arcs(v)) in_weight[v] += arc.weight;
+    }
+    positions_.assign(params_.num_walks,
+                      std::vector<NodeId>(params_.walk_length * n));
+    Rng rng(params_.seed);
+    for (int r = 0; r < params_.num_walks; ++r) {
+      for (NodeId v = 0; v < n; ++v) {
+        NodeId current = v;
+        for (int s = 0; s < params_.walk_length; ++s) {
+          current = StepBack(current, in_weight, rng);
+          positions_[r][static_cast<size_t>(s) * n + v] = current;
+          if (current == kInvalidNode) {
+            for (int rest = s + 1; rest < params_.walk_length; ++rest) {
+              positions_[r][static_cast<size_t>(rest) * n + v] = kInvalidNode;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  NodeId StepBack(NodeId v, const std::vector<double>& in_weight, Rng& rng) {
+    if (v == kInvalidNode) return kInvalidNode;
+    auto arcs = graph_.in_arcs(v);
+    if (arcs.empty() || in_weight[v] <= 0.0) return kInvalidNode;
+    double u = rng.NextDouble() * in_weight[v];
+    double acc = 0.0;
+    for (const InArc& arc : arcs) {
+      acc += arc.weight;
+      if (u < acc) return arc.source;
+    }
+    return arcs.back().source;
+  }
+
+  NodeId Position(NodeId v, int walk, int step) const {
+    DCHECK_GE(step, 1);
+    return positions_[walk]
+                     [static_cast<size_t>(step - 1) * graph_.num_nodes() + v];
+  }
+
+  const Graph& graph_;
+  SimRankParams params_;
+  std::vector<std::vector<NodeId>> positions_;
+  std::string name_ = "SimRank";
+};
+
+}  // namespace
+
+std::unique_ptr<ProximityMeasure> MakeSimRankMeasure(
+    const Graph& g, const SimRankParams& params) {
+  return std::make_unique<SimRankMeasure>(g, params);
+}
+
+}  // namespace rtr::ranking

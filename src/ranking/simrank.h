@@ -1,0 +1,36 @@
+#ifndef RTR_RANKING_SIMRANK_H_
+#define RTR_RANKING_SIMRANK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ranking/measure.h"
+
+namespace rtr::ranking {
+
+// Parameters of the Monte-Carlo SimRank estimator.
+struct SimRankParams {
+  // Decay constant; the paper uses the recommended C = 0.85.
+  double decay = 0.85;
+  // Number of coupled reverse walks per node (Fogaras-Racz fingerprints).
+  int num_walks = 64;
+  // Length of each reverse walk; contributions beyond this are < decay^L.
+  int walk_length = 11;
+  uint64_t seed = 88;
+};
+
+// SimRank [8] estimated by reverse-walk fingerprints: s(a, b) =
+// E[ C^tau ] where tau is the first meeting time of two coupled backward
+// random walks from a and b. Exact SimRank is O(n^2 d^2) per iteration —
+// infeasible beyond toy graphs (the reason the paper evaluates SimRank on
+// subgraphs); the fingerprint estimator is the standard scalable stand-in
+// and is deterministic under `seed`.
+//
+// Walks follow in-arcs with probability proportional to in-arc weight.
+// Multi-node queries average the per-query-node scores.
+std::unique_ptr<ProximityMeasure> MakeSimRankMeasure(
+    const Graph& g, const SimRankParams& params = {});
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_SIMRANK_H_

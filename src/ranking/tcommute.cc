@@ -1,0 +1,129 @@
+#include "ranking/tcommute.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rtr::ranking {
+namespace {
+
+class TCommuteMeasure : public ProximityMeasure {
+ public:
+  TCommuteMeasure(const Graph& g, const TCommuteParams& params)
+      : graph_(g), params_(params) {
+    CHECK_GT(params.horizon, 0);
+    CHECK_GT(params.num_walks, 0);
+    CHECK_GE(params.beta, 0.0);
+    CHECK_LE(params.beta, 1.0);
+  }
+
+  const std::string& name() const override { return params_.name; }
+
+  std::vector<double> Score(const Query& query) override {
+    CHECK(!query.empty());
+    const size_t n = graph_.num_nodes();
+    std::vector<double> total(n, 0.0);
+    for (NodeId q : query) {
+      CHECK_LT(q, n);
+      std::vector<double> inbound = InboundHittingTimes(q);
+      std::vector<double> outbound = OutboundHittingTimes(q);
+      for (size_t v = 0; v < n; ++v) {
+        total[v] += 2.0 * (1.0 - params_.beta) * outbound[v] +
+                    2.0 * params_.beta * inbound[v];
+      }
+    }
+    std::vector<double> scores(n);
+    double norm = 1.0 / static_cast<double>(query.size());
+    for (size_t v = 0; v < n; ++v) {
+      scores[v] = -(total[v] * norm);
+    }
+    return scores;
+  }
+
+ private:
+  // Exact DP for h_T(v -> q), all v: h^0 = 0;
+  // h^tau(v) = 0 if v == q, else 1 + sum_u M[v][u] * h^{tau-1}(u).
+  // Dangling nodes never hit q and saturate at T.
+  std::vector<double> InboundHittingTimes(NodeId q) const {
+    const size_t n = graph_.num_nodes();
+    std::vector<double> h(n, 0.0), next(n, 0.0);
+    for (int tau = 1; tau <= params_.horizon; ++tau) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == q) {
+          next[v] = 0.0;
+          continue;
+        }
+        auto arcs = graph_.out_arcs(v);
+        if (arcs.empty()) {
+          // The walk is stuck: treat as a self-loop, accruing time.
+          next[v] = 1.0 + h[v];
+          continue;
+        }
+        double sum = 0.0;
+        for (const OutArc& arc : arcs) sum += arc.prob * h[arc.target];
+        next[v] = 1.0 + sum;
+      }
+      h.swap(next);
+    }
+    return h;
+  }
+
+  // Monte-Carlo first-passage estimate of h_T(q -> v) for all v.
+  std::vector<double> OutboundHittingTimes(NodeId q) const {
+    const size_t n = graph_.num_nodes();
+    const double T = static_cast<double>(params_.horizon);
+    std::vector<double> sum(n, T * params_.num_walks);
+    // Derive the walk seed from the query so scores are query-deterministic
+    // regardless of evaluation order.
+    Rng rng(params_.seed ^ (0x9e3779b97f4a7c15ULL * (q + 1)));
+    std::vector<int> first_visit(n, -1);
+    std::vector<NodeId> visited;
+    for (int w = 0; w < params_.num_walks; ++w) {
+      NodeId current = q;
+      first_visit[q] = 0;
+      visited.push_back(q);
+      for (int step = 1; step <= params_.horizon; ++step) {
+        auto arcs = graph_.out_arcs(current);
+        if (arcs.empty()) break;
+        double u = rng.NextDouble();
+        double acc = 0.0;
+        NodeId next = arcs.back().target;
+        for (const OutArc& arc : arcs) {
+          acc += arc.prob;
+          if (u < acc) {
+            next = arc.target;
+            break;
+          }
+        }
+        current = next;
+        if (first_visit[current] < 0) {
+          first_visit[current] = step;
+          visited.push_back(current);
+        }
+      }
+      for (NodeId v : visited) {
+        sum[v] -= T - static_cast<double>(first_visit[v]);
+        first_visit[v] = -1;
+      }
+      visited.clear();
+    }
+    std::vector<double> h(n);
+    for (size_t v = 0; v < n; ++v) {
+      h[v] = sum[v] / static_cast<double>(params_.num_walks);
+    }
+    return h;
+  }
+
+  const Graph& graph_;
+  TCommuteParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProximityMeasure> MakeTCommuteMeasure(
+    const Graph& g, const TCommuteParams& params) {
+  return std::make_unique<TCommuteMeasure>(g, params);
+}
+
+}  // namespace rtr::ranking

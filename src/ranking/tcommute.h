@@ -1,0 +1,41 @@
+#ifndef RTR_RANKING_TCOMMUTE_H_
+#define RTR_RANKING_TCOMMUTE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ranking/measure.h"
+
+namespace rtr::ranking {
+
+// Parameters of truncated commute time [11], [14].
+struct TCommuteParams {
+  // Truncation horizon; the paper uses the recommended T = 10.
+  int horizon = 10;
+  // Walks used to estimate the outbound truncated hitting time h(q -> v)
+  // (the inbound direction h(v -> q) is computed exactly by DP).
+  int num_walks = 3000;
+  uint64_t seed = 1014;
+  // Weight on the inbound (specificity-flavored) direction; 0.5 is the
+  // original symmetric commute time, other values give the customized
+  // "TCommute+" of Fig. 10.
+  double beta = 0.5;
+  std::string name = "TCommute";
+};
+
+// Truncated commute time: score(q, v) =
+//   -[ 2(1-beta) * h_T(q -> v) + 2 beta * h_T(v -> q) ],
+// where h_T is the expected hitting time truncated at T steps (unreachable
+// within T counts as T). Smaller commute distance = higher score.
+//
+// h_T(v -> q) for all v is one exact O(T * E) dynamic program; h_T(q -> v)
+// for all v is estimated from `num_walks` first-passage Monte-Carlo walks
+// (the per-target DP would cost O(n * T * E)) — deterministic under `seed`.
+// Multi-node queries average the per-query-node distances.
+std::unique_ptr<ProximityMeasure> MakeTCommuteMeasure(
+    const Graph& g, const TCommuteParams& params = {});
+
+}  // namespace rtr::ranking
+
+#endif  // RTR_RANKING_TCOMMUTE_H_

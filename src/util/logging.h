@@ -1,0 +1,95 @@
+#ifndef RTR_UTIL_LOGGING_H_
+#define RTR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rtr {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the CHECK macros below; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lowest-precedence void sink: `Voidify() & stream` lets streamed `<<`
+// arguments bind to the stream first while the whole expression stays void,
+// so CHECK works both as a statement and inside a ternary.
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace rtr
+
+// CHECK(cond) aborts with a message if `cond` is false. Additional context
+// can be streamed: CHECK(x > 0) << "x=" << x;
+#define CHECK(condition)                                            \
+  (condition) ? (void)0                                             \
+              : ::rtr::internal_logging::Voidify() &                \
+                    ::rtr::internal_logging::CheckFailureStream(    \
+                        "CHECK", __FILE__, __LINE__, #condition)
+
+#define CHECK_OP(op, a, b)                                                 \
+  ((a)op(b)) ? (void)0                                                     \
+             : ::rtr::internal_logging::Voidify() &                        \
+                   (::rtr::internal_logging::CheckFailureStream(           \
+                        "CHECK", __FILE__, __LINE__, #a " " #op " " #b)    \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define CHECK_EQ(a, b) CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) CHECK_OP(>=, a, b)
+
+#ifndef NDEBUG
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#else
+#define DCHECK(condition) \
+  while (false) CHECK(condition)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) \
+  while (false) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) \
+  while (false) CHECK_GE(a, b)
+#endif
+
+#endif  // RTR_UTIL_LOGGING_H_

@@ -1,0 +1,144 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rtr {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Box-Muller; draws u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+int Rng::NextGeometric(double p) {
+  CHECK_GT(p, 0.0);
+  CHECK_LE(p, 1.0);
+  if (p == 1.0) return 0;
+  double u = 1.0 - NextDouble();  // in (0, 1]
+  return static_cast<int>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    DCHECK_GE(w, 0.0);
+    total += w;
+  }
+  CHECK_GT(total, 0.0) << "NextWeighted requires a positive total weight";
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  CHECK_LE(k, n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t candidate = NextUint64(n);
+    if (chosen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) : exponent_(exponent) {
+  CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  CHECK_LT(rank, cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace rtr

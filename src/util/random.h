@@ -1,0 +1,94 @@
+#ifndef RTR_UTIL_RANDOM_H_
+#define RTR_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+// Deterministic, seedable pseudo-random generator (xoshiro256++ seeded via
+// SplitMix64). All experiments in this repository are reproducible: every
+// random decision flows through an explicitly seeded Rng.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  // Reseeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform in [0, bound). Requires bound > 0.
+  uint32_t NextUint32(uint32_t bound) {
+    return static_cast<uint32_t>(NextUint64(bound));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Bernoulli draw with success probability p in [0, 1].
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Approximately normal via sum of uniforms is NOT used; this is a proper
+  // Box-Muller draw with the given mean and standard deviation.
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  // Geometric number of failures before the first success:
+  // p(k) = (1-p)^k * p for k = 0, 1, 2, ... Requires p in (0, 1].
+  // This is exactly the walk-length distribution L ~ Geo(alpha) of the paper.
+  int NextGeometric(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires at least one strictly positive weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = NextUint64(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over ranks {0, ..., n-1} with exponent s:
+// p(rank k) proportional to 1/(k+1)^s. Precomputes the CDF for O(log n) draws.
+// Used for term frequencies and URL popularity in the synthetic datasets.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  size_t n() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  // Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  // Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_RANDOM_H_

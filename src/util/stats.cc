@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+namespace {
+
+// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+// expansion (Lentz's algorithm), as in Numerical Recipes.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  double front = std::exp(ln_beta + a * std::log(x) + b * std::log1p(-x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+double StudentTCdf(double t, double df) {
+  CHECK_GT(df, 0.0);
+  if (t == 0.0) return 0.5;
+  double x = df / (df + t * t);
+  double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double df) {
+  CHECK_GT(p, 0.0);
+  CHECK_LT(p, 1.0);
+  double lo = -1e6, hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+SummaryStats Summarize(const std::vector<double>& sample) {
+  SummaryStats stats;
+  stats.n = sample.size();
+  if (sample.empty()) return stats;
+  stats.min = *std::min_element(sample.begin(), sample.end());
+  stats.max = *std::max_element(sample.begin(), sample.end());
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  stats.mean = sum / static_cast<double>(stats.n);
+  if (stats.n >= 2) {
+    double ss = 0.0;
+    for (double x : sample) {
+      double d = x - stats.mean;
+      ss += d * d;
+    }
+    stats.stddev = std::sqrt(ss / static_cast<double>(stats.n - 1));
+  }
+  return stats;
+}
+
+double SummaryStats::ConfidenceHalfWidth(double level) const {
+  if (n < 2) return 0.0;
+  double df = static_cast<double>(n - 1);
+  double quantile = StudentTQuantile(0.5 + level / 2.0, df);
+  return quantile * stddev / std::sqrt(static_cast<double>(n));
+}
+
+PairedTTestResult PairedTTest(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  CHECK_GE(a.size(), 2u);
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  SummaryStats d = Summarize(diff);
+
+  PairedTTestResult result;
+  result.degrees_of_freedom = d.n - 1;
+  result.mean_difference = d.mean;
+  if (d.stddev == 0.0) {
+    result.t_statistic = d.mean == 0.0 ? 0.0
+                         : (d.mean > 0.0 ? 1e30 : -1e30);
+    result.p_value = d.mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic =
+      d.mean / (d.stddev / std::sqrt(static_cast<double>(d.n)));
+  double df = static_cast<double>(result.degrees_of_freedom);
+  double cdf = StudentTCdf(std::fabs(result.t_statistic), df);
+  result.p_value = 2.0 * (1.0 - cdf);
+  return result;
+}
+
+}  // namespace rtr

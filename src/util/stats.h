@@ -1,0 +1,54 @@
+#ifndef RTR_UTIL_STATS_H_
+#define RTR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rtr {
+
+// Summary of a sample: count, mean, sample standard deviation, extremes.
+struct SummaryStats {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample (n-1) standard deviation; 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+
+  // Half-width of the two-sided confidence interval of the mean at the given
+  // confidence level (e.g., 0.99 for the paper's 99% intervals), using the
+  // Student t quantile. Returns 0 when n < 2.
+  double ConfidenceHalfWidth(double level) const;
+};
+
+// Computes summary statistics of `sample` (empty sample yields all-zero).
+SummaryStats Summarize(const std::vector<double>& sample);
+
+// Result of a paired two-tail Student t-test between two equal-length samples.
+struct PairedTTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;  // two-tail
+  size_t degrees_of_freedom = 0;
+  double mean_difference = 0.0;  // mean(a - b)
+
+  // True when p_value < alpha.
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+// Paired two-tail t-test of H0: mean(a - b) == 0. Requires a.size() ==
+// b.size() and at least two pairs. Used for the paper's significance claims
+// (p < 0.01). Degenerate inputs (zero variance of differences) yield
+// p = 1 when the mean difference is 0 and p = 0 otherwise.
+PairedTTestResult PairedTTest(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+// CDF of the Student t distribution with `df` degrees of freedom, used by the
+// test above; exposed for unit testing against known quantiles.
+double StudentTCdf(double t, double df);
+
+// Inverse CDF (quantile) of the Student t distribution, via bisection on
+// StudentTCdf. `p` must be in (0, 1).
+double StudentTQuantile(double p, double df);
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_STATS_H_

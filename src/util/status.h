@@ -1,0 +1,127 @@
+#ifndef RTR_UTIL_STATUS_H_
+#define RTR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+// Error codes for fallible operations. The library does not use exceptions
+// (database-style error handling): functions that can fail return Status or
+// StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+// Value-semantic success/error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Access to the value when
+// holding an error is a programming error (CHECK-fails).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace rtr
+
+// Propagates a non-OK status to the caller.
+#define RTR_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::rtr::Status _rtr_status = (expr);        \
+    if (!_rtr_status.ok()) return _rtr_status; \
+  } while (false)
+
+#endif  // RTR_UTIL_STATUS_H_

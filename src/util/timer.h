@@ -1,0 +1,29 @@
+#ifndef RTR_UTIL_TIMER_H_
+#define RTR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rtr {
+
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_TIMER_H_

@@ -1,0 +1,182 @@
+#include "datasets/qlog.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace rtr::datasets {
+namespace {
+
+QLogConfig SmallConfig() {
+  QLogConfig config;
+  config.num_concepts = 400;
+  config.num_portal_urls = 10;
+  return config;
+}
+
+const QLog& SmallLog() {
+  static const QLog* log = new QLog(QLog::Generate(SmallConfig()).value());
+  return *log;
+}
+
+TEST(QLogTest, DeterministicForSameSeed) {
+  QLog a = QLog::Generate(SmallConfig()).value();
+  QLog b = QLog::Generate(SmallConfig()).value();
+  EXPECT_EQ(a.graph().num_nodes(), b.graph().num_nodes());
+  EXPECT_EQ(a.graph().num_arcs(), b.graph().num_arcs());
+  ASSERT_EQ(a.clicks().size(), b.clicks().size());
+  for (size_t i = 0; i < a.clicks().size(); ++i) {
+    EXPECT_EQ(a.clicks()[i].phrase, b.clicks()[i].phrase);
+    EXPECT_EQ(a.clicks()[i].url, b.clicks()[i].url);
+    EXPECT_DOUBLE_EQ(a.clicks()[i].weight, b.clicks()[i].weight);
+  }
+}
+
+TEST(QLogTest, ConceptSizesWithinCaps) {
+  const QLog& log = SmallLog();
+  for (const QLog::Concept& cls : log.concepts()) {
+    EXPECT_GE(cls.phrases.size(), 1u);
+    EXPECT_LE(cls.phrases.size(),
+              static_cast<size_t>(log.config().max_phrases_per_concept));
+    EXPECT_GE(cls.urls.size(), 1u);
+    EXPECT_LE(cls.urls.size(),
+              static_cast<size_t>(log.config().max_urls_per_concept));
+  }
+}
+
+TEST(QLogTest, EveryPhraseClicksItsTopUrl) {
+  const QLog& log = SmallLog();
+  for (const QLog::Concept& cls : log.concepts()) {
+    for (NodeId phrase : cls.phrases) {
+      EXPECT_GT(log.graph().TransitionProb(phrase, cls.urls[0]), 0.0);
+    }
+  }
+}
+
+TEST(QLogTest, NodeTypesAssigned) {
+  const QLog& log = SmallLog();
+  for (const QLog::Concept& cls : log.concepts()) {
+    for (NodeId phrase : cls.phrases) {
+      EXPECT_EQ(log.graph().node_type(phrase), log.phrase_type());
+    }
+    for (NodeId url : cls.urls) {
+      EXPECT_EQ(log.graph().node_type(url), log.url_type());
+    }
+  }
+  for (NodeId portal : log.portal_urls()) {
+    EXPECT_EQ(log.graph().node_type(portal), log.url_type());
+  }
+}
+
+TEST(QLogTest, PortalUrlsAreHubs) {
+  const QLog& log = SmallLog();
+  // Portals accumulate clicks from many concepts; their average degree must
+  // far exceed a concept URL's.
+  double portal_deg = 0.0;
+  for (NodeId portal : log.portal_urls()) {
+    portal_deg += static_cast<double>(log.graph().out_degree(portal));
+  }
+  portal_deg /= static_cast<double>(log.portal_urls().size());
+  double concept_deg = 0.0;
+  size_t concept_urls = 0;
+  for (const QLog::Concept& cls : log.concepts()) {
+    for (NodeId url : cls.urls) {
+      concept_deg += static_cast<double>(log.graph().out_degree(url));
+      ++concept_urls;
+    }
+  }
+  concept_deg /= static_cast<double>(concept_urls);
+  EXPECT_GT(portal_deg, 5.0 * concept_deg);
+}
+
+TEST(QLogTest, ConceptOfPhraseConsistent) {
+  const QLog& log = SmallLog();
+  for (size_t c = 0; c < log.concepts().size(); ++c) {
+    for (NodeId phrase : log.concepts()[c].phrases) {
+      EXPECT_EQ(log.ConceptOfPhrase(phrase), static_cast<int>(c));
+    }
+  }
+}
+
+TEST(QLogTest, ClickDaysInRange) {
+  const QLog& log = SmallLog();
+  for (const QLog::Click& click : log.clicks()) {
+    EXPECT_GE(click.day, 1);
+    EXPECT_LE(click.day, log.config().num_days);
+    EXPECT_GE(click.weight, 1.0);
+  }
+}
+
+TEST(QLogTest, RelevantUrlTaskRemovesEdge) {
+  const QLog& log = SmallLog();
+  EvalTaskSet task = log.MakeRelevantUrlTask(20, 10, 3).value();
+  EXPECT_EQ(task.test_queries.size(), 20u);
+  EXPECT_EQ(task.dev_queries.size(), 10u);
+  EXPECT_EQ(task.target_type, log.url_type());
+  for (const EvalQuery& q : task.test_queries) {
+    ASSERT_EQ(q.ground_truth.size(), 1u);
+    EXPECT_EQ(task.graph.TransitionProb(q.query_nodes[0], q.ground_truth[0]),
+              0.0);
+    EXPECT_GT(log.graph().TransitionProb(q.query_nodes[0], q.ground_truth[0]),
+              0.0);
+    // The phrase keeps at least one other URL edge.
+    EXPECT_GT(task.graph.out_degree(q.query_nodes[0]), 0u);
+  }
+}
+
+TEST(QLogTest, EquivalentPhraseTaskGroundTruthSharesConcept) {
+  const QLog& log = SmallLog();
+  EvalTaskSet task = log.MakeEquivalentPhraseTask(25, 5, 5).value();
+  EXPECT_EQ(task.target_type, log.phrase_type());
+  for (const EvalQuery& q : task.test_queries) {
+    ASSERT_GE(q.ground_truth.size(), 1u);
+    int concept_index = log.ConceptOfPhrase(q.query_nodes[0]);
+    for (NodeId gt : q.ground_truth) {
+      EXPECT_EQ(log.ConceptOfPhrase(gt), concept_index);
+      EXPECT_NE(gt, q.query_nodes[0]);
+      // Equivalent phrases are never directly linked.
+      EXPECT_EQ(task.graph.TransitionProb(q.query_nodes[0], gt), 0.0);
+    }
+  }
+}
+
+TEST(QLogTest, SnapshotsAreCumulative) {
+  const QLog& log = SmallLog();
+  Subgraph d6 = log.Snapshot(6).value();
+  Subgraph d18 = log.Snapshot(18).value();
+  Subgraph d30 = log.Snapshot(30).value();
+  EXPECT_LT(d6.graph.num_nodes(), d18.graph.num_nodes());
+  EXPECT_LT(d18.graph.num_nodes(), d30.graph.num_nodes());
+  EXPECT_LT(d6.graph.num_arcs(), d18.graph.num_arcs());
+  // The final snapshot holds every click.
+  EXPECT_EQ(d30.graph.num_arcs(), log.graph().num_arcs());
+}
+
+TEST(QLogTest, SnapshotMappingRoundTrips) {
+  const QLog& log = SmallLog();
+  Subgraph snap = log.Snapshot(10).value();
+  for (NodeId new_id = 0; new_id < snap.graph.num_nodes(); ++new_id) {
+    NodeId old_id = snap.to_parent[new_id];
+    EXPECT_EQ(snap.from_parent[old_id], new_id);
+    EXPECT_EQ(snap.graph.node_type(new_id), log.graph().node_type(old_id));
+  }
+}
+
+TEST(QLogTest, RejectsBadConfig) {
+  QLogConfig config = SmallConfig();
+  config.num_concepts = 0;
+  EXPECT_FALSE(QLog::Generate(config).ok());
+  config = SmallConfig();
+  config.num_days = 0;
+  EXPECT_FALSE(QLog::Generate(config).ok());
+}
+
+TEST(QLogTest, RejectsOversizedQueryRequest) {
+  const QLog& log = SmallLog();
+  EXPECT_FALSE(log.MakeRelevantUrlTask(1000000, 0, 1).ok());
+  EXPECT_FALSE(log.MakeEquivalentPhraseTask(1000000, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace rtr::datasets

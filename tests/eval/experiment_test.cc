@@ -1,0 +1,184 @@
+#include "eval/experiment.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/round_trip_rank.h"
+#include "graph/builder.h"
+#include "ranking/combinators.h"
+#include "ranking/pagerank.h"
+
+namespace rtr::eval {
+namespace {
+
+// A small typed graph: one "query"-type node connected to "target"-type
+// nodes with decreasing weight.
+struct TypedGraph {
+  Graph graph;
+  NodeTypeId query_type, target_type;
+};
+
+TypedGraph MakeTypedGraph() {
+  GraphBuilder b;
+  TypedGraph out;
+  out.query_type = b.AddNodeType("q");
+  out.target_type = b.AddNodeType("t");
+  NodeId q0 = b.AddNode(out.query_type);  // 0
+  NodeId q1 = b.AddNode(out.query_type);  // 1
+  for (int i = 0; i < 4; ++i) b.AddNode(out.target_type);  // 2..5
+  b.AddUndirectedEdge(q0, 2, 8.0);
+  b.AddUndirectedEdge(q0, 3, 4.0);
+  b.AddUndirectedEdge(q0, 4, 2.0);
+  b.AddUndirectedEdge(q0, 5, 1.0);
+  b.AddUndirectedEdge(q1, 5, 1.0);
+  out.graph = b.Build().value();
+  return out;
+}
+
+TEST(FilteredRankingTest, KeepsOnlyTargetTypeExcludingQuery) {
+  TypedGraph tg = MakeTypedGraph();
+  auto scorer = std::make_shared<ranking::FTScorer>(tg.graph);
+  auto f = ranking::MakeFRankMeasure(scorer);
+  std::vector<double> scores = f->Score({0});
+  std::vector<NodeId> ranked =
+      FilteredRanking(tg.graph, scores, {0}, tg.target_type, 10);
+  ASSERT_EQ(ranked.size(), 4u);
+  // Weight ordering: 2 > 3 > 4 > 5.
+  EXPECT_EQ(ranked[0], 2u);
+  EXPECT_EQ(ranked[1], 3u);
+  EXPECT_EQ(ranked[2], 4u);
+  EXPECT_EQ(ranked[3], 5u);
+  // Query-type nodes never appear.
+  for (NodeId v : ranked) {
+    EXPECT_EQ(tg.graph.node_type(v), tg.target_type);
+  }
+}
+
+TEST(FilteredRankingTest, LimitRespected) {
+  TypedGraph tg = MakeTypedGraph();
+  std::vector<double> scores(tg.graph.num_nodes(), 1.0);
+  std::vector<NodeId> ranked =
+      FilteredRanking(tg.graph, scores, {0}, tg.target_type, 2);
+  EXPECT_EQ(ranked.size(), 2u);
+}
+
+TEST(FilteredRankingTest, QueryOfTargetTypeIsDropped) {
+  TypedGraph tg = MakeTypedGraph();
+  std::vector<double> scores(tg.graph.num_nodes(), 1.0);
+  std::vector<NodeId> ranked =
+      FilteredRanking(tg.graph, scores, {2}, tg.target_type, 10);
+  for (NodeId v : ranked) EXPECT_NE(v, 2u);
+  EXPECT_EQ(ranked.size(), 3u);
+}
+
+datasets::EvalTaskSet MakeTask(const TypedGraph& tg) {
+  datasets::EvalTaskSet task;
+  task.name = "test";
+  task.graph = tg.graph;
+  task.target_type = tg.target_type;
+  datasets::EvalQuery q;
+  q.query_nodes = {0};
+  q.ground_truth = {2};
+  task.test_queries.push_back(q);
+  datasets::EvalQuery dev;
+  dev.query_nodes = {0};
+  dev.ground_truth = {2};
+  task.dev_queries.push_back(dev);
+  return task;
+}
+
+TEST(QueryNdcgTest, TopRankedGroundTruthGivesOne) {
+  TypedGraph tg = MakeTypedGraph();
+  datasets::EvalTaskSet task = MakeTask(tg);
+  auto scorer = std::make_shared<ranking::FTScorer>(task.graph);
+  auto f = ranking::MakeFRankMeasure(scorer);
+  EXPECT_DOUBLE_EQ(
+      QueryNdcg(task.graph, *f, task.test_queries[0], task.target_type, 5),
+      1.0);
+}
+
+TEST(MeanNdcgTest, AveragesOverQueries) {
+  TypedGraph tg = MakeTypedGraph();
+  datasets::EvalTaskSet task = MakeTask(tg);
+  // Add a query whose ground truth is ranked last among the 4 targets.
+  datasets::EvalQuery bad;
+  bad.query_nodes = {0};
+  bad.ground_truth = {5};
+  task.test_queries.push_back(bad);
+  auto scorer = std::make_shared<ranking::FTScorer>(task.graph);
+  auto f = ranking::MakeFRankMeasure(scorer);
+  double ndcg5 = MeanNdcg(task.graph, *f, task, 5);
+  EXPECT_GT(ndcg5, 0.5);  // first query contributes 1.0
+  EXPECT_LT(ndcg5, 1.0);  // second query contributes < 1.0
+}
+
+TEST(TuneBetaTest, PicksGridPointMaximizingDevNdcg) {
+  TypedGraph tg = MakeTypedGraph();
+  datasets::EvalTaskSet task = MakeTask(tg);
+  auto scorer = std::make_shared<ranking::FTScorer>(task.graph);
+  MeasureFactory factory = [&](double beta) {
+    return core::MakeRoundTripRankPlusMeasure(scorer, beta);
+  };
+  double beta = TuneBeta(task, factory, DefaultBetaGrid());
+  EXPECT_GE(beta, 0.0);
+  EXPECT_LE(beta, 1.0);
+}
+
+TEST(TuneBetaTest, NoDevQueriesFallsBackToHalf) {
+  TypedGraph tg = MakeTypedGraph();
+  datasets::EvalTaskSet task = MakeTask(tg);
+  task.dev_queries.clear();
+  MeasureFactory factory = [&](double) {
+    auto scorer = std::make_shared<ranking::FTScorer>(task.graph);
+    return ranking::MakeFRankMeasure(scorer);
+  };
+  EXPECT_DOUBLE_EQ(TuneBeta(task, factory, DefaultBetaGrid()), 0.5);
+}
+
+TEST(TuneBetaTest, DiscriminatesWhenOneBetaClearlyBetter) {
+  // Ground truth node is reachable but unpopular: a directed structure where
+  // specificity (t) ranks it first while importance (f) ranks it last.
+  GraphBuilder b;
+  NodeTypeId qt = b.AddNodeType("q");
+  NodeTypeId tt = b.AddNodeType("t");
+  NodeId q = b.AddNode(qt);      // 0
+  NodeId hub = b.AddNode(tt);    // 1: popular, unspecific
+  NodeId niche = b.AddNode(tt);  // 2: returns to q reliably
+  NodeId other = b.AddNode(qt);  // 3: another source feeding the hub
+  b.AddDirectedEdge(q, hub, 10.0);
+  b.AddDirectedEdge(q, niche, 1.0);
+  b.AddDirectedEdge(niche, q, 10.0);
+  b.AddDirectedEdge(hub, other, 10.0);
+  b.AddDirectedEdge(other, hub, 10.0);
+  b.AddDirectedEdge(hub, q, 0.5);
+  Graph g = b.Build().value();
+
+  datasets::EvalTaskSet task;
+  task.graph = g;
+  task.target_type = tt;
+  datasets::EvalQuery dev;
+  dev.query_nodes = {q};
+  dev.ground_truth = {niche};
+  task.dev_queries.push_back(dev);
+
+  auto scorer = std::make_shared<ranking::FTScorer>(task.graph);
+  MeasureFactory factory = [&](double beta) {
+    return core::MakeRoundTripRankPlusMeasure(scorer, beta);
+  };
+  double beta = TuneBeta(task, factory, DefaultBetaGrid());
+  EXPECT_GT(beta, 0.5);  // specificity wins on this construction
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.12345, 4), "0.1235");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchChecks) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK");
+}
+
+}  // namespace
+}  // namespace rtr::eval

@@ -1,0 +1,95 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rtr::eval {
+namespace {
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({7, 3, 9}, {7, 3, 9}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({7, 3, 9, 1, 2}, {7}, 5), 1.0);
+}
+
+TEST(NdcgTest, MissedGroundTruthIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 3}, {9}, 3), 0.0);
+}
+
+TEST(NdcgTest, EmptyGroundTruthIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 3}, {}, 3), 0.0);
+}
+
+TEST(NdcgTest, SingleRelevantAtRankTwo) {
+  // DCG = 1/log2(3); IDCG = 1/log2(2) = 1.
+  EXPECT_NEAR(NdcgAtK({5, 9, 6}, {9}, 3), 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(NdcgTest, KnownMixedCase) {
+  // Relevant = {a, b}; ranked: a, x, b => DCG = 1 + 1/log2(4);
+  // IDCG = 1 + 1/log2(3).
+  double dcg = 1.0 + 1.0 / std::log2(4.0);
+  double idcg = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({1, 99, 2}, {1, 2}, 3), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, CutoffKIgnoresLaterHits) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({5, 6, 9}, {9}, 2), 0.0);
+}
+
+TEST(NdcgTest, RankedShorterThanK) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({9}, {9}, 10), 1.0);
+}
+
+TEST(NdcgTest, MoreGroundTruthThanK) {
+  // k = 1, two relevant: ideal has one hit at rank 1.
+  EXPECT_DOUBLE_EQ(NdcgAtK({1}, {1, 2}, 1), 1.0);
+}
+
+TEST(PrecisionTest, FullOverlap) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3}, {3, 2, 1}, 3), 1.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, {2, 9, 4, 8}, 4), 0.5);
+}
+
+TEST(PrecisionTest, EmptyReferenceZero) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, {}, 2), 0.0);
+}
+
+TEST(PrecisionTest, ReferenceSmallerThanK) {
+  // 1 relevant among top-3, reference size 1: precision 1.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3}, {2}, 3), 1.0);
+}
+
+TEST(KendallTauTest, PerfectOrderIsOne) {
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  EXPECT_DOUBLE_EQ(KendallTauAgainstScores({0, 1, 2, 3}, scores), 1.0);
+}
+
+TEST(KendallTauTest, ReversedOrderIsMinusOne) {
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  EXPECT_DOUBLE_EQ(KendallTauAgainstScores({3, 2, 1, 0}, scores), -1.0);
+}
+
+TEST(KendallTauTest, OneSwapOfThree) {
+  std::vector<double> scores = {0.9, 0.8, 0.7};
+  // Order {1, 0, 2}: pairs (1,0) discordant; (1,2), (0,2) concordant.
+  EXPECT_NEAR(KendallTauAgainstScores({1, 0, 2}, scores), (2.0 - 1.0) / 3.0,
+              1e-12);
+}
+
+TEST(KendallTauTest, TiesContributeZero) {
+  std::vector<double> scores = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(KendallTauAgainstScores({0, 1}, scores), 0.0);
+}
+
+TEST(KendallTauTest, TrivialListIsOne) {
+  std::vector<double> scores = {0.5};
+  EXPECT_DOUBLE_EQ(KendallTauAgainstScores({0}, scores), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauAgainstScores({}, scores), 1.0);
+}
+
+}  // namespace
+}  // namespace rtr::eval

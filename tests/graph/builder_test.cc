@@ -1,0 +1,132 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace rtr {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  StatusOr<Graph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+  EXPECT_EQ(g->num_arcs(), 0u);
+}
+
+TEST(GraphBuilderTest, NodeTypesRegisteredAndDeduplicated) {
+  GraphBuilder b;
+  NodeTypeId paper = b.AddNodeType("paper");
+  NodeTypeId venue = b.AddNodeType("venue");
+  EXPECT_NE(paper, venue);
+  EXPECT_EQ(b.AddNodeType("paper"), paper);
+  NodeId p = b.AddNode(paper);
+  NodeId v = b.AddNode(venue);
+  Graph g = b.Build().value();
+  EXPECT_EQ(g.node_type(p), paper);
+  EXPECT_EQ(g.node_type(v), venue);
+  EXPECT_EQ(g.type_name(paper), "paper");
+  EXPECT_EQ(g.type_names()[0], "untyped");
+}
+
+TEST(GraphBuilderTest, AddNodesBulk) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("term");
+  NodeId first = b.AddNodes(5, t);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(b.num_nodes(), 5u);
+  Graph g = b.Build().value();
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.node_type(v), t);
+}
+
+TEST(GraphBuilderTest, DirectedEdgeAppearsOnce) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 2.0);
+  Graph g = b.Build().value();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].prob, 1.0);
+}
+
+TEST(GraphBuilderTest, UndirectedEdgeMakesTwoArcs) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddUndirectedEdge(0, 1, 3.0);
+  Graph g = b.Build().value();
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, ParallelArcsMergeWeights) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(0, 1, 2.5);
+  Graph g = b.Build().value();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].weight, 3.5);
+}
+
+TEST(GraphBuilderTest, TransitionProbabilitiesRowStochastic) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(0, 2, 2.0);
+  b.AddDirectedEdge(0, 3, 1.0);
+  Graph g = b.Build().value();
+  double total = 0.0;
+  for (const OutArc& arc : g.out_arcs(0)) total += arc.prob;
+  EXPECT_NEAR(total, 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(g.TransitionProb(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(g.TransitionProb(0, 1), 0.25);
+}
+
+TEST(GraphBuilderTest, InArcsMirrorOutProbabilities) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddDirectedEdge(0, 2, 1.0);
+  b.AddDirectedEdge(0, 1, 3.0);
+  b.AddDirectedEdge(1, 2, 5.0);
+  Graph g = b.Build().value();
+  ASSERT_EQ(g.in_degree(2), 2u);
+  for (const InArc& arc : g.in_arcs(2)) {
+    EXPECT_DOUBLE_EQ(arc.prob, g.TransitionProb(arc.source, 2));
+  }
+}
+
+TEST(GraphBuilderTest, SelfLoopAllowed) {
+  GraphBuilder b;
+  b.AddNodes(1);
+  b.AddDirectedEdge(0, 0, 1.0);
+  Graph g = b.Build().value();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_DOUBLE_EQ(g.TransitionProb(0, 0), 1.0);
+}
+
+TEST(GraphBuilderTest, OutWeightAccumulates) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddDirectedEdge(0, 1, 1.5);
+  b.AddDirectedEdge(0, 2, 2.5);
+  Graph g = b.Build().value();
+  EXPECT_DOUBLE_EQ(g.out_weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.out_weight(1), 0.0);
+}
+
+TEST(GraphBuilderTest, BuildIsRepeatable) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  Graph g1 = b.Build().value();
+  Graph g2 = b.Build().value();
+  EXPECT_EQ(g1.num_arcs(), g2.num_arcs());
+  EXPECT_EQ(g1.num_nodes(), g2.num_nodes());
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,126 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace rtr {
+namespace {
+
+// Builds the toy bibliographic graph of Fig. 2 in the paper:
+// terms t1, t2; papers p1..p7; venues v1, v2, v3. All edges undirected with
+// unit weight.
+//   t1 - p1, p2 (v1); t1 - p3, p4 (v2); t1 - p5 (v3); t2 - p6, p7 (v1).
+struct ToyGraph {
+  Graph graph;
+  NodeId t1, t2;
+  NodeId p[7];
+  NodeId v1, v2, v3;
+};
+
+ToyGraph MakeToyGraph() {
+  GraphBuilder b;
+  NodeTypeId term = b.AddNodeType("term");
+  NodeTypeId paper = b.AddNodeType("paper");
+  NodeTypeId venue = b.AddNodeType("venue");
+  ToyGraph toy;
+  toy.t1 = b.AddNode(term);
+  toy.t2 = b.AddNode(term);
+  for (auto& pid : toy.p) pid = b.AddNode(paper);
+  toy.v1 = b.AddNode(venue);
+  toy.v2 = b.AddNode(venue);
+  toy.v3 = b.AddNode(venue);
+  // term-paper edges
+  b.AddUndirectedEdge(toy.t1, toy.p[0], 1.0);
+  b.AddUndirectedEdge(toy.t1, toy.p[1], 1.0);
+  b.AddUndirectedEdge(toy.t1, toy.p[2], 1.0);
+  b.AddUndirectedEdge(toy.t1, toy.p[3], 1.0);
+  b.AddUndirectedEdge(toy.t1, toy.p[4], 1.0);
+  b.AddUndirectedEdge(toy.t2, toy.p[5], 1.0);
+  b.AddUndirectedEdge(toy.t2, toy.p[6], 1.0);
+  // paper-venue edges
+  b.AddUndirectedEdge(toy.p[0], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[1], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[5], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[6], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[2], toy.v2, 1.0);
+  b.AddUndirectedEdge(toy.p[3], toy.v2, 1.0);
+  b.AddUndirectedEdge(toy.p[4], toy.v3, 1.0);
+  toy.graph = b.Build().value();
+  return toy;
+}
+
+TEST(GraphTest, ToyGraphShape) {
+  ToyGraph toy = MakeToyGraph();
+  EXPECT_EQ(toy.graph.num_nodes(), 12u);
+  EXPECT_EQ(toy.graph.num_arcs(), 28u);  // 14 undirected edges
+  // t1 links five papers; v1 accepts four papers.
+  EXPECT_EQ(toy.graph.out_degree(toy.t1), 5u);
+  EXPECT_EQ(toy.graph.out_degree(toy.v1), 4u);
+  EXPECT_EQ(toy.graph.out_degree(toy.v3), 1u);
+}
+
+TEST(GraphTest, ToyGraphTransitionProbsMatchPaperExample) {
+  // p(t1 -> p1) = 1/5, p(p1 -> v1) = 1/2, p(v1 -> p1) = 1/4: the paper's
+  // round trip t1->p1->v1->p1->t1 has probability 1/5 * 1/2 * 1/4 * 1/2.
+  ToyGraph toy = MakeToyGraph();
+  const Graph& g = toy.graph;
+  EXPECT_DOUBLE_EQ(g.TransitionProb(toy.t1, toy.p[0]), 0.2);
+  EXPECT_DOUBLE_EQ(g.TransitionProb(toy.p[0], toy.v1), 0.5);
+  EXPECT_DOUBLE_EQ(g.TransitionProb(toy.v1, toy.p[0]), 0.25);
+  EXPECT_DOUBLE_EQ(g.TransitionProb(toy.p[0], toy.t1), 0.5);
+  double trip = 0.2 * 0.5 * 0.25 * 0.5;
+  EXPECT_NEAR(trip, 0.0125, 1e-15);
+}
+
+TEST(GraphTest, NodesOfType) {
+  ToyGraph toy = MakeToyGraph();
+  const Graph& g = toy.graph;
+  NodeTypeId venue = 3;  // untyped=0, term=1, paper=2, venue=3
+  std::vector<NodeId> venues = g.NodesOfType(venue);
+  ASSERT_EQ(venues.size(), 3u);
+  EXPECT_EQ(venues[0], toy.v1);
+  EXPECT_EQ(venues[2], toy.v3);
+}
+
+TEST(GraphTest, TransitionProbMissingArcIsZero) {
+  ToyGraph toy = MakeToyGraph();
+  EXPECT_DOUBLE_EQ(toy.graph.TransitionProb(toy.t1, toy.v1), 0.0);
+  EXPECT_DOUBLE_EQ(toy.graph.TransitionProb(toy.t1, toy.t2), 0.0);
+}
+
+TEST(GraphTest, MemoryBytesPositiveAndGrows) {
+  ToyGraph toy = MakeToyGraph();
+  size_t small = toy.graph.MemoryBytes();
+  EXPECT_GT(small, 0u);
+  GraphBuilder b;
+  b.AddNodes(1000);
+  for (NodeId v = 0; v + 1 < 1000; ++v) b.AddDirectedEdge(v, v + 1, 1.0);
+  Graph big = b.Build().value();
+  EXPECT_GT(big.MemoryBytes(), small);
+}
+
+TEST(GraphTest, AverageDegree) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 2, 1.0);
+  Graph g = b.Build().value();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.5);
+  EXPECT_DOUBLE_EQ(Graph().AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, InArcSpanContents) {
+  ToyGraph toy = MakeToyGraph();
+  const Graph& g = toy.graph;
+  // v2's in-arcs come from p3 and p4 (papers with prob 1/2 each).
+  auto in = g.in_arcs(toy.v2);
+  ASSERT_EQ(in.size(), 2u);
+  for (const InArc& arc : in) {
+    EXPECT_TRUE(arc.source == toy.p[2] || arc.source == toy.p[3]);
+    EXPECT_DOUBLE_EQ(arc.prob, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,100 @@
+#include "graph/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace rtr {
+namespace {
+
+Graph SampleGraph() {
+  GraphBuilder b;
+  NodeTypeId phrase = b.AddNodeType("phrase");
+  NodeTypeId url = b.AddNodeType("url");
+  b.AddNode(phrase);
+  b.AddNode(url);
+  b.AddNode(url);
+  b.AddUndirectedEdge(0, 1, 2.5);
+  b.AddDirectedEdge(1, 2, 0.75);
+  return b.Build().value();
+}
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  Graph g = SampleGraph();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  Graph loaded = LoadGraphText(ss).value();
+  ASSERT_EQ(loaded.num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded.num_arcs(), g.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.node_type(v), g.node_type(v));
+    auto orig = g.out_arcs(v);
+    auto got = loaded.out_arcs(v);
+    ASSERT_EQ(orig.size(), got.size());
+    for (size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_EQ(got[i].target, orig[i].target);
+      EXPECT_DOUBLE_EQ(got[i].weight, orig[i].weight);
+      EXPECT_DOUBLE_EQ(got[i].prob, orig[i].prob);
+    }
+  }
+}
+
+TEST(GraphIoTest, RoundTripPreservesTypeNames) {
+  Graph g = SampleGraph();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  Graph loaded = LoadGraphText(ss).value();
+  EXPECT_EQ(loaded.type_names(), g.type_names());
+}
+
+TEST(GraphIoTest, BadHeaderRejected) {
+  std::stringstream ss("not-a-graph 1\n");
+  EXPECT_FALSE(LoadGraphText(ss).ok());
+}
+
+TEST(GraphIoTest, BadVersionRejected) {
+  std::stringstream ss("rtr-graph 99\n");
+  EXPECT_FALSE(LoadGraphText(ss).ok());
+}
+
+TEST(GraphIoTest, TruncatedStreamRejected) {
+  Graph g = SampleGraph();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  std::string text = ss.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_FALSE(LoadGraphText(truncated).ok());
+}
+
+TEST(GraphIoTest, InvalidArcEndpointRejected) {
+  std::stringstream ss(
+      "rtr-graph 1\n1\nuntyped\n2\n0\n0\n1\n0 7 1.0\n");
+  EXPECT_FALSE(LoadGraphText(ss).ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = SampleGraph();
+  std::string path = testing::TempDir() + "/rtr_io_test_graph.txt";
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  Graph loaded = LoadGraphFromFile(path).value();
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_arcs(), g.num_arcs());
+}
+
+TEST(GraphIoTest, MissingFileRejected) {
+  EXPECT_FALSE(LoadGraphFromFile("/nonexistent/path/graph.txt").ok());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  Graph g = GraphBuilder().Build().value();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  Graph loaded = LoadGraphText(ss).value();
+  EXPECT_EQ(loaded.num_nodes(), 0u);
+  EXPECT_EQ(loaded.num_arcs(), 0u);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,159 @@
+// Property tests over randomly generated graphs: structural invariants of
+// the CSR representation, serialization, subgraphs and irreducibility
+// repair, parameterized over seeds.
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "graph/scc.h"
+#include "graph/subgraph.h"
+#include "util/random.h"
+
+namespace rtr {
+namespace {
+
+Graph RandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  NodeTypeId types[3] = {b.AddNodeType("a"), b.AddNodeType("b"),
+                         b.AddNodeType("c")};
+  size_t n = 20 + rng.NextUint64(80);
+  for (size_t i = 0; i < n; ++i) b.AddNode(types[rng.NextUint64(3)]);
+  size_t arcs = n + rng.NextUint64(4 * n);
+  for (size_t e = 0; e < arcs; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextUint64(n));
+    NodeId v = static_cast<NodeId>(rng.NextUint64(n));
+    if (rng.NextBernoulli(0.5)) {
+      b.AddUndirectedEdge(u, v, 0.1 + rng.NextDouble());
+    } else {
+      b.AddDirectedEdge(u, v, 0.1 + rng.NextDouble());
+    }
+  }
+  return b.Build().value();
+}
+
+class GraphProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphProperties, TransitionProbabilitiesRowStochastic) {
+  Graph g = RandomGraph(GetParam());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double total = 0.0;
+    for (const OutArc& arc : g.out_arcs(v)) {
+      EXPECT_GT(arc.prob, 0.0);
+      EXPECT_GT(arc.weight, 0.0);
+      total += arc.prob;
+    }
+    if (g.out_degree(v) > 0) {
+      EXPECT_NEAR(total, 1.0, 1e-12) << "node " << v;
+    }
+  }
+}
+
+TEST_P(GraphProperties, InArcsExactlyMirrorOutArcs) {
+  Graph g = RandomGraph(GetParam() + 100);
+  std::map<std::pair<NodeId, NodeId>, double> out_probs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const OutArc& arc : g.out_arcs(v)) {
+      // No duplicate arcs after builder merging.
+      auto inserted = out_probs.emplace(std::make_pair(v, arc.target),
+                                        arc.prob);
+      EXPECT_TRUE(inserted.second);
+    }
+  }
+  size_t in_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const InArc& arc : g.in_arcs(v)) {
+      ++in_total;
+      auto it = out_probs.find({arc.source, v});
+      ASSERT_NE(it, out_probs.end());
+      EXPECT_DOUBLE_EQ(arc.prob, it->second);
+    }
+  }
+  EXPECT_EQ(in_total, out_probs.size());
+  EXPECT_EQ(in_total, g.num_arcs());
+}
+
+TEST_P(GraphProperties, SerializationRoundTripsExactly) {
+  Graph g = RandomGraph(GetParam() + 200);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  Graph loaded = LoadGraphText(ss).value();
+  ASSERT_EQ(loaded.num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded.num_arcs(), g.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.node_type(v), g.node_type(v));
+    auto a = g.out_arcs(v);
+    auto b = loaded.out_arcs(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].target, b[i].target);
+      EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST_P(GraphProperties, MakeIrreducibleIsIdempotentInStructure) {
+  Graph g = RandomGraph(GetParam() + 300);
+  Graph fixed = MakeIrreducible(g).value();
+  EXPECT_TRUE(IsStronglyConnected(fixed));
+  // A second application must be a no-op.
+  Graph twice = MakeIrreducible(fixed).value();
+  EXPECT_EQ(twice.num_arcs(), fixed.num_arcs());
+}
+
+TEST_P(GraphProperties, InducedSubgraphOfAllNodesIsIdentity) {
+  Graph g = RandomGraph(GetParam() + 400);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+  Subgraph sub = InducedSubgraph(g, all).value();
+  EXPECT_EQ(sub.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(sub.graph.num_arcs(), g.num_arcs());
+}
+
+TEST_P(GraphProperties, SubgraphArcsSubsetOfParent) {
+  Graph g = RandomGraph(GetParam() + 500);
+  Rng rng(GetParam() + 501);
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(g.num_nodes(), g.num_nodes() / 2);
+  std::vector<NodeId> nodes(picks.begin(), picks.end());
+  Subgraph sub = InducedSubgraph(g, nodes).value();
+  for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+    for (const OutArc& arc : sub.graph.out_arcs(v)) {
+      NodeId pu = sub.to_parent[v];
+      NodeId pv = sub.to_parent[arc.target];
+      bool found = false;
+      for (const OutArc& parent_arc : g.out_arcs(pu)) {
+        if (parent_arc.target == pv) {
+          EXPECT_DOUBLE_EQ(parent_arc.weight, arc.weight);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(GraphProperties, SccPartitionIsConsistent) {
+  Graph g = RandomGraph(GetParam() + 600);
+  SccResult scc = ComputeScc(g);
+  EXPECT_GT(scc.num_components, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GE(scc.component[v], 0);
+    ASSERT_LT(scc.component[v], scc.num_components);
+    // Arcs never point from a lower to a higher Tarjan component index
+    // (reverse topological numbering).
+    for (const OutArc& arc : g.out_arcs(v)) {
+      EXPECT_GE(scc.component[v], scc.component[arc.target]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,146 @@
+#include "graph/scc.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace rtr {
+namespace {
+
+Graph Cycle(size_t n) {
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.AddDirectedEdge(v, static_cast<NodeId>((v + 1) % n), 1.0);
+  }
+  return b.Build().value();
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Graph g = Cycle(5);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_TRUE(IsStronglyConnected(g));
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 2, 1.0);
+  b.AddDirectedEdge(2, 3, 1.0);
+  Graph g = b.Build().value();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 4);
+  EXPECT_FALSE(IsStronglyConnected(g));
+  // Tarjan order: downstream components get smaller indices.
+  EXPECT_GT(scc.component[0], scc.component[1]);
+  EXPECT_GT(scc.component[1], scc.component[2]);
+  EXPECT_GT(scc.component[2], scc.component[3]);
+}
+
+TEST(SccTest, TwoCyclesLinked) {
+  GraphBuilder b;
+  b.AddNodes(6);
+  // cycle A: 0->1->2->0; cycle B: 3->4->5->3; bridge 2->3.
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 2, 1.0);
+  b.AddDirectedEdge(2, 0, 1.0);
+  b.AddDirectedEdge(3, 4, 1.0);
+  b.AddDirectedEdge(4, 5, 1.0);
+  b.AddDirectedEdge(5, 3, 1.0);
+  b.AddDirectedEdge(2, 3, 1.0);
+  Graph g = b.Build().value();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  // Arc from component of node 0 to component of node 3 implies the former
+  // has a larger Tarjan index.
+  EXPECT_GT(scc.component[0], scc.component[3]);
+}
+
+TEST(SccTest, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(IsStronglyConnected(g));
+  EXPECT_EQ(ComputeScc(g).num_components, 0);
+}
+
+TEST(SccTest, IsolatedNodes) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  Graph g = b.Build().value();
+  EXPECT_EQ(ComputeScc(g).num_components, 3);
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  // 200k-node chain would blow a recursive Tarjan; the iterative version
+  // must handle it.
+  const size_t kN = 200000;
+  GraphBuilder b;
+  b.AddNodes(kN);
+  for (NodeId v = 0; v + 1 < kN; ++v) b.AddDirectedEdge(v, v + 1, 1.0);
+  Graph g = b.Build().value();
+  EXPECT_EQ(ComputeScc(g).num_components, static_cast<int>(kN));
+}
+
+TEST(MakeIrreducibleTest, AlreadyIrreducibleUnchanged) {
+  Graph g = Cycle(4);
+  Graph fixed = MakeIrreducible(g).value();
+  EXPECT_EQ(fixed.num_arcs(), g.num_arcs());
+}
+
+TEST(MakeIrreducibleTest, ChainBecomesStronglyConnected) {
+  GraphBuilder b;
+  b.AddNodes(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) b.AddDirectedEdge(v, v + 1, 1.0);
+  Graph g = b.Build().value();
+  ASSERT_FALSE(IsStronglyConnected(g));
+  Graph fixed = MakeIrreducible(g, 1e-3).value();
+  EXPECT_TRUE(IsStronglyConnected(fixed));
+  // One dummy arc per component.
+  EXPECT_EQ(fixed.num_arcs(), g.num_arcs() + 5);
+}
+
+TEST(MakeIrreducibleTest, IsolatedNodesConnected) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  Graph g = b.Build().value();
+  Graph fixed = MakeIrreducible(g).value();
+  EXPECT_TRUE(IsStronglyConnected(fixed));
+}
+
+TEST(MakeIrreducibleTest, DummyWeightIsSmall) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 100.0);
+  Graph g = b.Build().value();
+  Graph fixed = MakeIrreducible(g, 1e-3).value();
+  ASSERT_TRUE(IsStronglyConnected(fixed));
+  // Node 0's real arc keeps essentially all the probability mass.
+  EXPECT_GT(fixed.TransitionProb(0, 1), 0.9999);
+}
+
+TEST(MakeIrreducibleTest, RejectsBadEpsilon) {
+  Graph g = Cycle(3);
+  EXPECT_FALSE(MakeIrreducible(g, 0.0).ok());
+  EXPECT_FALSE(MakeIrreducible(g, -1.0).ok());
+}
+
+TEST(MakeIrreducibleTest, PreservesNodeTypes) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("phrase");
+  b.AddNode(t);
+  b.AddNode(t);
+  Graph g = b.Build().value();
+  Graph fixed = MakeIrreducible(g).value();
+  EXPECT_EQ(fixed.node_type(0), t);
+  EXPECT_EQ(fixed.type_name(t), "phrase");
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,103 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace rtr {
+namespace {
+
+Graph LineWithTypes() {
+  GraphBuilder b;
+  NodeTypeId a = b.AddNodeType("a");
+  NodeTypeId c = b.AddNodeType("c");
+  b.AddNode(a);  // 0
+  b.AddNode(c);  // 1
+  b.AddNode(a);  // 2
+  b.AddNode(c);  // 3
+  b.AddNode(a);  // 4
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 2, 2.0);
+  b.AddDirectedEdge(2, 3, 3.0);
+  b.AddDirectedEdge(3, 4, 4.0);
+  return b.Build().value();
+}
+
+TEST(InducedSubgraphTest, KeepsInternalArcsOnly) {
+  Graph g = LineWithTypes();
+  Subgraph sub = InducedSubgraph(g, {1, 2, 3}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_arcs(), 2u);  // 1->2 and 2->3 survive
+  // Mapping round-trips.
+  for (NodeId new_id = 0; new_id < sub.graph.num_nodes(); ++new_id) {
+    EXPECT_EQ(sub.from_parent[sub.to_parent[new_id]], new_id);
+  }
+  EXPECT_EQ(sub.from_parent[0], kInvalidNode);
+  EXPECT_EQ(sub.from_parent[4], kInvalidNode);
+}
+
+TEST(InducedSubgraphTest, PreservesTypesAndWeights) {
+  Graph g = LineWithTypes();
+  Subgraph sub = InducedSubgraph(g, {2, 3}).value();
+  NodeId new2 = sub.from_parent[2];
+  NodeId new3 = sub.from_parent[3];
+  EXPECT_EQ(sub.graph.node_type(new2), g.node_type(2));
+  EXPECT_EQ(sub.graph.node_type(new3), g.node_type(3));
+  ASSERT_EQ(sub.graph.out_degree(new2), 1u);
+  EXPECT_DOUBLE_EQ(sub.graph.out_arcs(new2)[0].weight, 3.0);
+  // Re-normalization: 2's only surviving arc gets probability 1.
+  EXPECT_DOUBLE_EQ(sub.graph.out_arcs(new2)[0].prob, 1.0);
+}
+
+TEST(InducedSubgraphTest, DuplicateSelectionIgnored) {
+  Graph g = LineWithTypes();
+  Subgraph sub = InducedSubgraph(g, {1, 1, 2, 2}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 2u);
+}
+
+TEST(InducedSubgraphTest, OutOfRangeRejected) {
+  Graph g = LineWithTypes();
+  EXPECT_FALSE(InducedSubgraph(g, {99}).ok());
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  Graph g = LineWithTypes();
+  Subgraph sub = InducedSubgraph(g, {}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+}
+
+TEST(KHopNeighborhoodTest, ZeroHopsIsSeedsOnly) {
+  Graph g = LineWithTypes();
+  auto nodes = KHopNeighborhood(g, {2}, 0);
+  EXPECT_EQ(nodes, std::vector<NodeId>({2}));
+}
+
+TEST(KHopNeighborhoodTest, ExpandsBothDirections) {
+  Graph g = LineWithTypes();
+  // One hop from node 2 reaches 1 (in-arc) and 3 (out-arc).
+  auto nodes = KHopNeighborhood(g, {2}, 1);
+  EXPECT_EQ(nodes, std::vector<NodeId>({1, 2, 3}));
+}
+
+TEST(KHopNeighborhoodTest, SaturatesOnWholeGraph) {
+  Graph g = LineWithTypes();
+  auto nodes = KHopNeighborhood(g, {0}, 10);
+  EXPECT_EQ(nodes.size(), g.num_nodes());
+}
+
+TEST(KHopNeighborhoodTest, MultipleSeedsDeduplicated) {
+  Graph g = LineWithTypes();
+  auto nodes = KHopNeighborhood(g, {1, 3, 1}, 0);
+  EXPECT_EQ(nodes, std::vector<NodeId>({1, 3}));
+}
+
+TEST(KHopNeighborhoodTest, ThreeHopsMatchesPaperStyleExpansion) {
+  Graph g = LineWithTypes();
+  auto nodes = KHopNeighborhood(g, {0}, 3);
+  EXPECT_EQ(nodes, std::vector<NodeId>({0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace rtr {
+namespace {
+
+Graph WeightedGraph() {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("x");
+  b.AddNodes(4, t);
+  b.AddDirectedEdge(0, 1, 10.0);
+  b.AddDirectedEdge(0, 2, 1.0);
+  b.AddDirectedEdge(0, 3, 1.0);
+  b.AddDirectedEdge(1, 0, 5.0);
+  b.AddUndirectedEdge(2, 3, 7.0);
+  return b.Build().value();
+}
+
+TEST(UniformWeightCopyTest, StructurePreserved) {
+  Graph g = WeightedGraph();
+  Graph u = UniformWeightCopy(g);
+  ASSERT_EQ(u.num_nodes(), g.num_nodes());
+  ASSERT_EQ(u.num_arcs(), g.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(u.node_type(v), g.node_type(v));
+    auto a = g.out_arcs(v);
+    auto b = u.out_arcs(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].target, b[i].target);
+    }
+  }
+  EXPECT_EQ(u.type_names(), g.type_names());
+}
+
+TEST(UniformWeightCopyTest, TransitionsBecomeUniform) {
+  Graph g = WeightedGraph();
+  Graph u = UniformWeightCopy(g);
+  // Original: heavily skewed toward node 1.
+  EXPECT_GT(g.TransitionProb(0, 1), 0.8);
+  // Copy: uniform over the three out-arcs.
+  EXPECT_NEAR(u.TransitionProb(0, 1), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(u.TransitionProb(0, 2), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(u.TransitionProb(0, 3), 1.0 / 3.0, 1e-15);
+  for (NodeId v = 0; v < u.num_nodes(); ++v) {
+    for (const OutArc& arc : u.out_arcs(v)) {
+      EXPECT_DOUBLE_EQ(arc.weight, 1.0);
+    }
+  }
+}
+
+TEST(UniformWeightCopyTest, InArcsMirrorUniformProbabilities) {
+  Graph g = WeightedGraph();
+  Graph u = UniformWeightCopy(g);
+  for (NodeId v = 0; v < u.num_nodes(); ++v) {
+    for (const InArc& arc : u.in_arcs(v)) {
+      EXPECT_DOUBLE_EQ(arc.prob, u.TransitionProb(arc.source, v));
+    }
+  }
+}
+
+TEST(UniformWeightCopyTest, IdempotentOnUnweightedGraph) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(1, 2, 1.0);
+  Graph g = b.Build().value();
+  Graph u = UniformWeightCopy(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = g.out_arcs(v);
+    auto c = u.out_arcs(v);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].prob, c[i].prob);
+    }
+  }
+}
+
+TEST(UniformWeightCopyTest, EmptyGraph) {
+  Graph g = GraphBuilder().Build().value();
+  Graph u = UniformWeightCopy(g);
+  EXPECT_EQ(u.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,105 @@
+#include "ranking/escape.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace rtr::ranking {
+namespace {
+
+TEST(EscapeProbabilityTest, SelfEscapeIsOne) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  Graph g = b.Build().value();
+  auto esc = MakeEscapeProbabilityMeasure(g);
+  EXPECT_DOUBLE_EQ(esc->Score({0})[0], 1.0);
+}
+
+TEST(EscapeProbabilityTest, TwoCycleAlwaysEscapes) {
+  // From 0 the first step always reaches 1 before any return.
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 0, 1.0);
+  Graph g = b.Build().value();
+  auto esc = MakeEscapeProbabilityMeasure(g);
+  EXPECT_DOUBLE_EQ(esc->Score({0})[1], 1.0);
+}
+
+TEST(EscapeProbabilityTest, StarLeavesSplitEvenly) {
+  // Undirected star with 4 leaves: the first step picks one leaf; the walk
+  // then returns to the center. esc(center, leaf) = 1/4 for each leaf.
+  GraphBuilder b;
+  b.AddNodes(5);
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    b.AddUndirectedEdge(0, leaf, 1.0);
+  }
+  Graph g = b.Build().value();
+  EscapeParams params;
+  params.num_walks = 20000;
+  auto esc = MakeEscapeProbabilityMeasure(g, params);
+  std::vector<double> scores = esc->Score({0});
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_NEAR(scores[leaf], 0.25, 0.02);
+  }
+}
+
+TEST(EscapeProbabilityTest, UnreachableNodeZero) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddUndirectedEdge(0, 1, 1.0);  // node 2 isolated
+  Graph g = b.Build().value();
+  auto esc = MakeEscapeProbabilityMeasure(g);
+  EXPECT_DOUBLE_EQ(esc->Score({0})[2], 0.0);
+}
+
+TEST(EscapeProbabilityTest, CloserNodeEscapesMoreOften) {
+  // Path 0 - 1 - 2 - 3: reaching 1 before returning to 0 is easier than
+  // reaching 3 before returning.
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(1, 2, 1.0);
+  b.AddUndirectedEdge(2, 3, 1.0);
+  Graph g = b.Build().value();
+  EscapeParams params;
+  params.num_walks = 8000;
+  auto esc = MakeEscapeProbabilityMeasure(g, params);
+  std::vector<double> scores = esc->Score({0});
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_GT(scores[2], scores[3]);
+  EXPECT_GT(scores[3], 0.0);
+}
+
+TEST(EscapeProbabilityTest, DeterministicAndOrderIndependent) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(1, 2, 1.0);
+  b.AddUndirectedEdge(2, 3, 2.0);
+  Graph g = b.Build().value();
+  auto a = MakeEscapeProbabilityMeasure(g);
+  auto c = MakeEscapeProbabilityMeasure(g);
+  (void)c->Score({2});  // different first query must not perturb results
+  EXPECT_EQ(a->Score({0}), c->Score({0}));
+}
+
+TEST(EscapeProbabilityTest, MultiNodeQueryAverages) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddUndirectedEdge(0, 2, 1.0);
+  b.AddUndirectedEdge(1, 2, 1.0);
+  b.AddUndirectedEdge(2, 3, 1.0);
+  Graph g = b.Build().value();
+  auto esc = MakeEscapeProbabilityMeasure(g);
+  std::vector<double> s0 = esc->Score({0});
+  std::vector<double> s1 = esc->Score({1});
+  std::vector<double> s01 = esc->Score({0, 1});
+  for (size_t v = 0; v < s01.size(); ++v) {
+    EXPECT_NEAR(s01[v], 0.5 * (s0[v] + s1[v]), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rtr::ranking

@@ -1,0 +1,313 @@
+// Tests for the baseline proximity measures: combinators (F/T/arithmetic/
+// harmonic), AdamicAdar, SimRank, TCommute, ObjSqrtInv, and TopKNodes.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "ranking/adamic_adar.h"
+#include "ranking/combinators.h"
+#include "ranking/measure.h"
+#include "ranking/objectrank.h"
+#include "ranking/pagerank.h"
+#include "ranking/simrank.h"
+#include "ranking/tcommute.h"
+
+namespace rtr::ranking {
+namespace {
+
+Graph Diamond() {
+  // 0 -> {1, 2} -> 3, all undirected for walkability.
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(0, 2, 1.0);
+  b.AddUndirectedEdge(1, 3, 1.0);
+  b.AddUndirectedEdge(2, 3, 1.0);
+  return b.Build().value();
+}
+
+std::vector<NodeId> Ordering(const std::vector<double>& scores) {
+  std::vector<NodeId> ids(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) ids[v] = v;
+  std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return ids;
+}
+
+TEST(TopKNodesTest, OrdersByScoreThenId) {
+  std::vector<double> scores = {0.1, 0.5, 0.5, 0.9, 0.0};
+  auto top = TopKNodes(scores, 3);
+  EXPECT_EQ(top, std::vector<NodeId>({3, 1, 2}));
+}
+
+TEST(TopKNodesTest, ExcludesRequestedNodes) {
+  std::vector<double> scores = {0.1, 0.5, 0.5, 0.9, 0.0};
+  auto top = TopKNodes(scores, 3, {3, 1});
+  EXPECT_EQ(top, std::vector<NodeId>({2, 0, 4}));
+}
+
+TEST(TopKNodesTest, KLargerThanN) {
+  std::vector<double> scores = {0.3, 0.1};
+  auto top = TopKNodes(scores, 10);
+  EXPECT_EQ(top, std::vector<NodeId>({0, 1}));
+}
+
+TEST(CombinatorsTest, FRankMeasureMatchesRawFRank) {
+  Graph g = Diamond();
+  auto scorer = std::make_shared<FTScorer>(g);
+  auto measure = MakeFRankMeasure(scorer);
+  EXPECT_EQ(measure->name(), "F-Rank/PPR");
+  std::vector<double> via_measure = measure->Score({0});
+  std::vector<double> direct = FRank(g, {0});
+  for (size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_DOUBLE_EQ(via_measure[v], direct[v]);
+  }
+}
+
+TEST(CombinatorsTest, TRankMeasureMatchesRawTRank) {
+  Graph g = Diamond();
+  auto scorer = std::make_shared<FTScorer>(g);
+  auto measure = MakeTRankMeasure(scorer);
+  std::vector<double> via_measure = measure->Score({0});
+  std::vector<double> direct = TRank(g, {0});
+  for (size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_DOUBLE_EQ(via_measure[v], direct[v]);
+  }
+}
+
+TEST(CombinatorsTest, ArithmeticExtremesReduceToMonoSensed) {
+  Graph g = Diamond();
+  auto scorer = std::make_shared<FTScorer>(g);
+  auto arith0 = MakeArithmeticMeasure(scorer, 0.0);
+  auto arith1 = MakeArithmeticMeasure(scorer, 1.0);
+  auto f = MakeFRankMeasure(scorer)->Score({1});
+  auto t = MakeTRankMeasure(scorer)->Score({1});
+  EXPECT_EQ(arith0->Score({1}), f);
+  EXPECT_EQ(arith1->Score({1}), t);
+}
+
+TEST(CombinatorsTest, HarmonicIsZeroWhenEitherSenseIsZero) {
+  // Directed chain: t = 0 beyond the query, so harmonic must vanish there.
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 2, 1.0);
+  Graph g = b.Build().value();
+  auto scorer = std::make_shared<FTScorer>(g);
+  auto harmonic = MakeHarmonicMeasure(scorer);
+  std::vector<double> scores = harmonic->Score({0});
+  EXPECT_GT(scores[0], 0.0);
+  EXPECT_EQ(scores[1], 0.0);
+  EXPECT_EQ(scores[2], 0.0);
+}
+
+TEST(CombinatorsTest, HarmonicBetaHalfIsClassicHarmonicMean) {
+  Graph g = Diamond();
+  auto scorer = std::make_shared<FTScorer>(g);
+  auto harmonic = MakeHarmonicMeasure(scorer, 0.5);
+  const FTVectors& ft = scorer->Compute({0});
+  std::vector<double> scores = harmonic->Score({0});
+  for (size_t v = 0; v < scores.size(); ++v) {
+    double expected = 2.0 * ft.f[v] * ft.t[v] / (ft.f[v] + ft.t[v]);
+    EXPECT_NEAR(scores[v], expected, 1e-12);
+  }
+}
+
+TEST(AdamicAdarTest, CommonNeighborContributions) {
+  // 0 and 3 share neighbors 1 and 2, each of undirected degree 2:
+  // score = 2 / log(2).
+  Graph g = Diamond();
+  auto aa = MakeAdamicAdarMeasure(g);
+  std::vector<double> scores = aa->Score({0});
+  EXPECT_NEAR(scores[3], 2.0 / std::log(2.0), 1e-12);
+}
+
+TEST(AdamicAdarTest, NoCommonNeighborsZero) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(2, 3, 1.0);
+  Graph g = b.Build().value();
+  auto aa = MakeAdamicAdarMeasure(g);
+  std::vector<double> scores = aa->Score({0});
+  EXPECT_EQ(scores[2], 0.0);
+  EXPECT_EQ(scores[3], 0.0);
+}
+
+TEST(AdamicAdarTest, DegreeOneNeighborContributesNothing) {
+  // Path 0 - 1 - 2 where 1 has degree 2: score(0, 2) = 1/log(2).
+  // Then 2 - 3: node 3 reachable only through 2 (degree 2).
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(1, 2, 1.0);
+  Graph g = b.Build().value();
+  auto aa = MakeAdamicAdarMeasure(g);
+  std::vector<double> scores = aa->Score({0});
+  EXPECT_NEAR(scores[2], 1.0 / std::log(2.0), 1e-12);
+}
+
+TEST(AdamicAdarTest, MultiNodeQueryAverages) {
+  Graph g = Diamond();
+  auto aa = MakeAdamicAdarMeasure(g);
+  std::vector<double> s0 = aa->Score({0});
+  std::vector<double> s3 = aa->Score({3});
+  std::vector<double> s03 = aa->Score({0, 3});
+  for (size_t v = 0; v < s03.size(); ++v) {
+    EXPECT_NEAR(s03[v], 0.5 * (s0[v] + s3[v]), 1e-12);
+  }
+}
+
+TEST(SimRankTest, SelfSimilarityIsOne) {
+  Graph g = Diamond();
+  auto simrank = MakeSimRankMeasure(g);
+  std::vector<double> scores = simrank->Score({0});
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+}
+
+TEST(SimRankTest, SharedOnlyInNeighborMeetsImmediately) {
+  // c -> a, c -> b: backward walks from a and b both reach c at step 1,
+  // so s(a, b) = C exactly.
+  GraphBuilder b;
+  b.AddNodes(3);  // 0=c, 1=a, 2=b
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(0, 2, 1.0);
+  Graph g = b.Build().value();
+  SimRankParams params;
+  params.decay = 0.85;
+  auto simrank = MakeSimRankMeasure(g, params);
+  std::vector<double> scores = simrank->Score({1});
+  EXPECT_NEAR(scores[2], 0.85, 1e-12);
+}
+
+TEST(SimRankTest, CoupledFingerprintsAreSymmetric) {
+  Graph g = Diamond();
+  auto simrank = MakeSimRankMeasure(g);
+  std::vector<double> from1 = simrank->Score({1});
+  std::vector<double> from2 = simrank->Score({2});
+  EXPECT_DOUBLE_EQ(from1[2], from2[1]);
+}
+
+TEST(SimRankTest, NoInEdgesNoSimilarity) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddDirectedEdge(0, 1, 1.0);  // 2 has no in-edges; 0 has none either
+  Graph g = b.Build().value();
+  auto simrank = MakeSimRankMeasure(g);
+  std::vector<double> scores = simrank->Score({0});
+  EXPECT_EQ(scores[2], 0.0);
+}
+
+TEST(SimRankTest, DeterministicAcrossInstances) {
+  Graph g = Diamond();
+  auto a = MakeSimRankMeasure(g);
+  auto b = MakeSimRankMeasure(g);
+  EXPECT_EQ(a->Score({0}), b->Score({0}));
+}
+
+TEST(TCommuteTest, TwoCycleCommuteIsTwo) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 0, 1.0);
+  Graph g = b.Build().value();
+  auto tc = MakeTCommuteMeasure(g);
+  std::vector<double> scores = tc->Score({0});
+  // h(0->1) = h(1->0) = 1 exactly; score = -(1 + 1).
+  EXPECT_NEAR(scores[1], -2.0, 1e-9);
+  EXPECT_NEAR(scores[0], 0.0, 1e-9);
+}
+
+TEST(TCommuteTest, UnreachableSaturatesAtHorizon) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 0, 1.0);
+  Graph g = b.Build().value();  // node 2 isolated
+  TCommuteParams params;
+  params.horizon = 10;
+  auto tc = MakeTCommuteMeasure(g, params);
+  std::vector<double> scores = tc->Score({0});
+  EXPECT_NEAR(scores[2], -20.0, 1e-9);
+}
+
+TEST(TCommuteTest, CloserNodeRanksHigher) {
+  // Undirected path 0 - 1 - 2 - 3: commute(0,1) < commute(0,2) < ...
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddUndirectedEdge(0, 1, 1.0);
+  b.AddUndirectedEdge(1, 2, 1.0);
+  b.AddUndirectedEdge(2, 3, 1.0);
+  Graph g = b.Build().value();
+  auto tc = MakeTCommuteMeasure(g);
+  std::vector<double> scores = tc->Score({0});
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_GT(scores[2], scores[3]);
+}
+
+TEST(TCommuteTest, BetaWeightsDirections) {
+  // Directed: 0 -> 1 fast; 1 -> 0 impossible. A specificity-heavy beta must
+  // penalize node 1 more than an importance-heavy beta.
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 1, 1.0);  // self-loop so walks have somewhere to go
+  Graph g = b.Build().value();
+  TCommuteParams importance;
+  importance.beta = 0.1;
+  TCommuteParams specificity;
+  specificity.beta = 0.9;
+  auto imp = MakeTCommuteMeasure(g, importance);
+  auto spec = MakeTCommuteMeasure(g, specificity);
+  EXPECT_GT(imp->Score({0})[1], spec->Score({0})[1]);
+}
+
+TEST(TCommuteTest, DeterministicAcrossInstancesAndOrder) {
+  Graph g = Diamond();
+  auto a = MakeTCommuteMeasure(g);
+  auto b = MakeTCommuteMeasure(g);
+  (void)b->Score({3});  // different first query must not change results
+  EXPECT_EQ(a->Score({0}), b->Score({0}));
+}
+
+TEST(ObjSqrtInvTest, CombinesImportanceWithSqrtSpecificity) {
+  Graph g = Diamond();
+  ObjSqrtInvParams params;
+  auto measure = MakeObjSqrtInvMeasure(g, params);
+  WalkParams walk;
+  walk.alpha = params.damping;
+  std::vector<double> f = FRank(g, {0}, walk);
+  std::vector<double> t = TRank(g, {0}, walk);
+  std::vector<double> scores = measure->Score({0});
+  for (size_t v = 0; v < scores.size(); ++v) {
+    EXPECT_NEAR(scores[v], f[v] * std::sqrt(t[v]), 1e-12);
+  }
+}
+
+TEST(ObjSqrtInvTest, PlusWithThirdBetaIsRankEquivalent) {
+  // OR * sqrt(IOR) and OR^(2/3) * IOR^(1/3) order nodes identically.
+  Graph g = Diamond();
+  auto original = MakeObjSqrtInvMeasure(g);
+  auto plus = MakeObjSqrtInvPlusMeasure(g, 1.0 / 3.0);
+  EXPECT_EQ(Ordering(original->Score({1})), Ordering(plus->Score({1})));
+}
+
+TEST(ObjSqrtInvTest, PlusExtremesAreMonoSensed) {
+  Graph g = Diamond();
+  WalkParams walk;
+  walk.alpha = 0.25;
+  auto beta0 = MakeObjSqrtInvPlusMeasure(g, 0.0);
+  auto beta1 = MakeObjSqrtInvPlusMeasure(g, 1.0);
+  std::vector<double> f = FRank(g, {2}, walk);
+  std::vector<double> t = TRank(g, {2}, walk);
+  EXPECT_EQ(Ordering(beta0->Score({2})), Ordering(f));
+  EXPECT_EQ(Ordering(beta1->Score({2})), Ordering(t));
+}
+
+}  // namespace
+}  // namespace rtr::ranking

@@ -1,0 +1,208 @@
+#include "ranking/pagerank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace rtr::ranking {
+namespace {
+
+Graph TwoCycle() {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 0, 1.0);
+  return b.Build().value();
+}
+
+Graph Cycle(size_t n) {
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.AddDirectedEdge(v, static_cast<NodeId>((v + 1) % n), 1.0);
+  }
+  return b.Build().value();
+}
+
+// The toy graph of Fig. 2 (see graph_test.cc for the layout).
+struct ToyGraph {
+  Graph graph;
+  NodeId t1, t2;
+  NodeId p[7];
+  NodeId v1, v2, v3;
+};
+
+ToyGraph MakeToyGraph() {
+  GraphBuilder b;
+  ToyGraph toy;
+  toy.t1 = b.AddNode();
+  toy.t2 = b.AddNode();
+  for (auto& pid : toy.p) pid = b.AddNode();
+  toy.v1 = b.AddNode();
+  toy.v2 = b.AddNode();
+  toy.v3 = b.AddNode();
+  for (int i = 0; i < 5; ++i) b.AddUndirectedEdge(toy.t1, toy.p[i], 1.0);
+  b.AddUndirectedEdge(toy.t2, toy.p[5], 1.0);
+  b.AddUndirectedEdge(toy.t2, toy.p[6], 1.0);
+  b.AddUndirectedEdge(toy.p[0], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[1], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[5], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[6], toy.v1, 1.0);
+  b.AddUndirectedEdge(toy.p[2], toy.v2, 1.0);
+  b.AddUndirectedEdge(toy.p[3], toy.v2, 1.0);
+  b.AddUndirectedEdge(toy.p[4], toy.v3, 1.0);
+  toy.graph = b.Build().value();
+  return toy;
+}
+
+TEST(FRankTest, TwoCycleAnalytic) {
+  // f0 = alpha / (1 - (1-alpha)^2), f1 = (1-alpha) * f0.
+  Graph g = TwoCycle();
+  WalkParams params;
+  params.alpha = 0.25;
+  std::vector<double> f = FRank(g, {0}, params);
+  double f0 = 0.25 / (1.0 - 0.75 * 0.75);
+  EXPECT_NEAR(f[0], f0, 1e-10);
+  EXPECT_NEAR(f[1], 0.75 * f0, 1e-10);
+}
+
+TEST(FRankTest, SumsToOneWithoutDanglingNodes) {
+  ToyGraph toy = MakeToyGraph();
+  std::vector<double> f = FRank(toy.graph, {toy.t1});
+  double total = std::accumulate(f.begin(), f.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FRankTest, QueryHasAtLeastAlphaMass) {
+  ToyGraph toy = MakeToyGraph();
+  WalkParams params;
+  params.alpha = 0.25;
+  std::vector<double> f = FRank(toy.graph, {toy.t1}, params);
+  EXPECT_GE(f[toy.t1], 0.25);
+}
+
+TEST(FRankTest, ToyGraphImportanceOrdering) {
+  // From t1, v1 and v2 (two on-topic papers each) are easier to reach than
+  // v3 (one paper). v1 and v2 are close but not identical: long walks also
+  // reach v1 through the off-topic t2 side, so they differ by a few percent.
+  ToyGraph toy = MakeToyGraph();
+  std::vector<double> f = FRank(toy.graph, {toy.t1});
+  EXPECT_GT(f[toy.v1], f[toy.v3]);
+  EXPECT_GT(f[toy.v2], f[toy.v3]);
+  EXPECT_NEAR(f[toy.v1], f[toy.v2], 0.15 * f[toy.v1]);
+}
+
+TEST(TRankTest, ToyGraphSpecificityOrdering) {
+  // Returning to t1 is easier from v2/v3 (no off-topic papers) than from v1:
+  // t(v2) = 2 * t(v3)-ish > t(v1). At minimum strict ordering holds.
+  ToyGraph toy = MakeToyGraph();
+  std::vector<double> t = TRank(toy.graph, {toy.t1});
+  EXPECT_GT(t[toy.v2], t[toy.v1]);
+  EXPECT_GT(t[toy.v3], t[toy.v1]);
+}
+
+TEST(TRankTest, TwoCycleMatchesFRankBySymmetry) {
+  Graph g = TwoCycle();
+  std::vector<double> f = FRank(g, {0});
+  std::vector<double> t = TRank(g, {0});
+  EXPECT_NEAR(f[0], t[0], 1e-10);
+  EXPECT_NEAR(f[1], t[1], 1e-10);
+}
+
+TEST(TRankTest, DirectedChainCaveat) {
+  // Sect. III-B caveat: a path q->v without a return path gives f > 0 but
+  // t = 0.
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddDirectedEdge(0, 1, 1.0);
+  b.AddDirectedEdge(1, 2, 1.0);
+  Graph g = b.Build().value();
+  std::vector<double> f = FRank(g, {0});
+  std::vector<double> t = TRank(g, {0});
+  EXPECT_GT(f[2], 0.0);
+  EXPECT_EQ(t[2], 0.0);
+}
+
+TEST(PagerankTest, MultiNodeQueryLinearity) {
+  // The Linearity Theorem: scores for {a, b} equal the average of the
+  // single-node scores.
+  ToyGraph toy = MakeToyGraph();
+  std::vector<double> fa = FRank(toy.graph, {toy.t1});
+  std::vector<double> fb = FRank(toy.graph, {toy.t2});
+  std::vector<double> fab = FRank(toy.graph, {toy.t1, toy.t2});
+  for (size_t v = 0; v < fab.size(); ++v) {
+    EXPECT_NEAR(fab[v], 0.5 * (fa[v] + fb[v]), 1e-9);
+  }
+  std::vector<double> ta = TRank(toy.graph, {toy.t1});
+  std::vector<double> tb = TRank(toy.graph, {toy.t2});
+  std::vector<double> tab = TRank(toy.graph, {toy.t1, toy.t2});
+  for (size_t v = 0; v < tab.size(); ++v) {
+    EXPECT_NEAR(tab[v], 0.5 * (ta[v] + tb[v]), 1e-9);
+  }
+}
+
+TEST(PagerankTest, HigherAlphaConcentratesMassOnQuery) {
+  ToyGraph toy = MakeToyGraph();
+  WalkParams lo, hi;
+  lo.alpha = 0.1;
+  hi.alpha = 0.6;
+  std::vector<double> f_lo = FRank(toy.graph, {toy.t1}, lo);
+  std::vector<double> f_hi = FRank(toy.graph, {toy.t1}, hi);
+  EXPECT_GT(f_hi[toy.t1], f_lo[toy.t1]);
+}
+
+TEST(PagerankTest, CycleUniformStationarySlice) {
+  // On an n-cycle, f(q, v) = alpha * (1-alpha)^d / (1 - (1-alpha)^n) where
+  // d is the forward distance from q to v.
+  Graph g = Cycle(4);
+  WalkParams params;
+  params.alpha = 0.25;
+  std::vector<double> f = FRank(g, {0}, params);
+  double denom = 1.0 - std::pow(0.75, 4);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NEAR(f[d], 0.25 * std::pow(0.75, d) / denom, 1e-10);
+  }
+}
+
+TEST(PagerankTest, DanglingNodeAbsorbsNothing) {
+  // 0 -> 1 (dangling). Mass that walks to 1 and does not teleport dies.
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddDirectedEdge(0, 1, 1.0);
+  Graph g = b.Build().value();
+  WalkParams params;
+  params.alpha = 0.25;
+  std::vector<double> f = FRank(g, {0}, params);
+  EXPECT_NEAR(f[0], 0.25, 1e-10);
+  EXPECT_NEAR(f[1], 0.75 * 0.25, 1e-10);
+  double total = f[0] + f[1];
+  EXPECT_LT(total, 1.0);
+}
+
+TEST(FTScorerTest, CachesRepeatedQuery) {
+  ToyGraph toy = MakeToyGraph();
+  FTScorer scorer(toy.graph);
+  const FTVectors& first = scorer.Compute({toy.t1});
+  const FTVectors* first_ptr = &first;
+  const FTVectors& second = scorer.Compute({toy.t1});
+  EXPECT_EQ(first_ptr, &second);
+}
+
+TEST(FTScorerTest, RecomputesOnNewQuery) {
+  ToyGraph toy = MakeToyGraph();
+  FTScorer scorer(toy.graph);
+  std::vector<double> f1 = scorer.Compute({toy.t1}).f;
+  std::vector<double> f2 = scorer.Compute({toy.t2}).f;
+  EXPECT_NE(f1, f2);
+  // Switching back recomputes correctly.
+  std::vector<double> f1_again = scorer.Compute({toy.t1}).f;
+  for (size_t v = 0; v < f1.size(); ++v) {
+    EXPECT_NEAR(f1_again[v], f1[v], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rtr::ranking

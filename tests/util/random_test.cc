@@ -1,0 +1,175 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rtr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  uint64_t first = rng.NextUint64();
+  rng.NextUint64();
+  rng.Seed(7);
+  EXPECT_EQ(rng.NextUint64(), first);
+}
+
+TEST(RngTest, BoundedUintRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedUintCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  // E[Geo(p)] (failures before success) = (1-p)/p.
+  Rng rng(19);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextGeometric(p);
+  EXPECT_NEAR(sum / kN, (1 - p) / p, 0.08);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  const int kN = 50000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.NextGaussian(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, WeightedSamplingProportions) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int kN = 30000;
+  for (int i = 0; i < kN; ++i) counts[rng.NextWeighted(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t x : sample) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (size_t k = 0; k < zipf.n(); ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSamplerTest, PmfDecreasing) {
+  ZipfSampler zipf(50, 0.9);
+  for (size_t k = 1; k < zipf.n(); ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(43);
+  std::vector<int> counts(10, 0);
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) counts[zipf.Sample(rng)]++;
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(47);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(0), 1.0);
+}
+
+}  // namespace
+}  // namespace rtr

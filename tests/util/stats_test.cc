@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rtr {
+namespace {
+
+TEST(SummarizeTest, EmptySample) {
+  SummaryStats s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  SummaryStats s = Summarize({4.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(SummarizeTest, KnownSample) {
+  SummaryStats s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev with n-1 = 7: sum of squares = 32, sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StudentTCdfTest, SymmetryAndMidpoint) {
+  EXPECT_DOUBLE_EQ(StudentTCdf(0.0, 5.0), 0.5);
+  for (double t : {0.5, 1.0, 2.3}) {
+    EXPECT_NEAR(StudentTCdf(t, 7.0) + StudentTCdf(-t, 7.0), 1.0, 1e-12);
+  }
+}
+
+TEST(StudentTCdfTest, KnownQuantiles) {
+  // Classic t-table values: P(T <= t) = 0.975.
+  EXPECT_NEAR(StudentTCdf(12.706, 1.0), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(1.984, 100.0), 0.975, 1e-3);
+  // One-sided 95%.
+  EXPECT_NEAR(StudentTCdf(1.812, 10.0), 0.95, 1e-3);
+}
+
+TEST(StudentTCdfTest, LargeDfApproachesNormal) {
+  // For df=1e6, t=1.96 should be ~0.975 (normal value).
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(StudentTQuantileTest, InvertsCdf) {
+  for (double df : {3.0, 10.0, 30.0}) {
+    for (double p : {0.6, 0.9, 0.975, 0.995}) {
+      double q = StudentTQuantile(p, df);
+      EXPECT_NEAR(StudentTCdf(q, df), p, 1e-9);
+    }
+  }
+}
+
+TEST(ConfidenceHalfWidthTest, MatchesManualComputation) {
+  SummaryStats s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  // hw = t_{0.995, 4} * stddev / sqrt(5); t_{0.995,4} = 4.604.
+  double hw = s.ConfidenceHalfWidth(0.99);
+  EXPECT_NEAR(hw, 4.604 * s.stddev / std::sqrt(5.0), 2e-3);
+}
+
+TEST(ConfidenceHalfWidthTest, ZeroForTinySamples) {
+  EXPECT_EQ(Summarize({}).ConfidenceHalfWidth(0.99), 0.0);
+  EXPECT_EQ(Summarize({1.0}).ConfidenceHalfWidth(0.99), 0.0);
+}
+
+TEST(PairedTTestTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {0.1, 0.2, 0.3, 0.4};
+  PairedTTestResult r = PairedTTest(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.SignificantAt(0.05));
+}
+
+TEST(PairedTTestTest, ConstantShiftIsMaximallySignificant) {
+  std::vector<double> a = {0.5, 0.6, 0.7};
+  std::vector<double> b = {0.4, 0.5, 0.6};
+  PairedTTestResult r = PairedTTest(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+  EXPECT_NEAR(r.mean_difference, 0.1, 1e-12);
+  EXPECT_TRUE(r.SignificantAt(0.01));
+}
+
+TEST(PairedTTestTest, KnownTStatistic) {
+  // Differences: {1, 2, 3, 4, 5}; mean 3, sd sqrt(2.5), n=5.
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {0, 0, 0, 0, 0};
+  PairedTTestResult r = PairedTTest(a, b);
+  EXPECT_NEAR(r.t_statistic, 3.0 / (std::sqrt(2.5) / std::sqrt(5.0)), 1e-9);
+  EXPECT_EQ(r.degrees_of_freedom, 4u);
+  EXPECT_LT(r.p_value, 0.05);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+TEST(PairedTTestTest, NoisyEqualMeansNotSignificant) {
+  std::vector<double> a = {0.50, 0.61, 0.40, 0.55, 0.49, 0.62};
+  std::vector<double> b = {0.51, 0.60, 0.41, 0.54, 0.50, 0.61};
+  PairedTTestResult r = PairedTTest(a, b);
+  EXPECT_FALSE(r.SignificantAt(0.01));
+}
+
+TEST(PairedTTestTest, DirectionalityOfT) {
+  std::vector<double> lo = {0.1, 0.15, 0.2, 0.12};
+  std::vector<double> hi = {0.3, 0.31, 0.45, 0.38};
+  EXPECT_LT(PairedTTest(lo, hi).t_statistic, 0.0);
+  EXPECT_GT(PairedTTest(hi, lo).t_statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,285 @@
+// rtr — command-line interface to the RoundTripRank library.
+//
+//   rtr generate --dataset bibnet|qlog [--seed N] [--out graph.txt]
+//   rtr info     --graph graph.txt
+//   rtr rank     --graph graph.txt --query 1,2,3 [--measure rtr|rtr+|f|t]
+//                [--beta 0.5] [--k 10] [--type venue]
+//   rtr topk     --graph graph.txt --query 5 [--k 10] [--eps 0.01]
+//                [--scheme 2sbound|gupta|sarkar|g+s|naive]
+//
+// Graphs use the text format of graph/io.h; `generate` emits the synthetic
+// datasets used by the benchmark suite.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/round_trip_rank.h"
+#include "core/twosbound.h"
+#include "datasets/bibnet.h"
+#include "datasets/qlog.h"
+#include "eval/experiment.h"
+#include "graph/io.h"
+#include "ranking/combinators.h"
+#include "ranking/pagerank.h"
+#include "util/timer.h"
+
+namespace {
+
+using rtr::Graph;
+using rtr::NodeId;
+
+// Minimal --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<NodeId> ParseQuery(const std::string& text) {
+  std::vector<NodeId> nodes;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    nodes.push_back(static_cast<NodeId>(
+        std::strtoul(text.substr(start, comma - start).c_str(), nullptr, 10)));
+    start = comma + 1;
+  }
+  return nodes;
+}
+
+Graph LoadGraphOrDie(const Flags& flags) {
+  std::string path = flags.GetString("graph", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --graph\n");
+    std::exit(2);
+  }
+  rtr::StatusOr<Graph> graph = rtr::LoadGraphFromFile(path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 graph.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(graph).value();
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string dataset = flags.GetString("dataset", "bibnet");
+  std::string out = flags.GetString("out", dataset + ".graph.txt");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  Graph graph;
+  if (dataset == "bibnet") {
+    rtr::datasets::BibNetConfig config;
+    if (seed != 0) config.seed = seed;
+    auto net = rtr::datasets::BibNet::Generate(config);
+    if (!net.ok()) {
+      std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+      return 1;
+    }
+    graph = net->graph();
+  } else if (dataset == "qlog") {
+    rtr::datasets::QLogConfig config;
+    if (seed != 0) config.seed = seed;
+    auto log = rtr::datasets::QLog::Generate(config);
+    if (!log.ok()) {
+      std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+      return 1;
+    }
+    graph = log->graph();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s' (bibnet|qlog)\n",
+                 dataset.c_str());
+    return 2;
+  }
+  rtr::Status status = rtr::SaveGraphToFile(graph, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu arcs\n", out.c_str(),
+              graph.num_nodes(), graph.num_arcs());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  Graph graph = LoadGraphOrDie(flags);
+  std::printf("nodes: %zu\narcs: %zu\naverage degree: %.2f\nmemory: %.1f MB\n",
+              graph.num_nodes(), graph.num_arcs(), graph.AverageDegree(),
+              graph.MemoryBytes() / 1e6);
+  std::printf("node types:\n");
+  for (size_t t = 0; t < graph.type_names().size(); ++t) {
+    size_t count = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (graph.node_type(v) == t) ++count;
+    }
+    if (count > 0) {
+      std::printf("  %-12s %zu\n", graph.type_names()[t].c_str(), count);
+    }
+  }
+  return 0;
+}
+
+int CmdRank(const Flags& flags) {
+  Graph graph = LoadGraphOrDie(flags);
+  std::vector<NodeId> query = ParseQuery(flags.GetString("query", ""));
+  if (query.empty()) {
+    std::fprintf(stderr, "missing --query\n");
+    return 2;
+  }
+  for (NodeId q : query) {
+    if (q >= graph.num_nodes()) {
+      std::fprintf(stderr, "query node %u out of range\n", q);
+      return 2;
+    }
+  }
+  std::string measure_name = flags.GetString("measure", "rtr");
+  double beta = flags.GetDouble("beta", 0.5);
+  int k = flags.GetInt("k", 10);
+
+  auto scorer = std::make_shared<rtr::ranking::FTScorer>(graph);
+  std::unique_ptr<rtr::ranking::ProximityMeasure> measure;
+  if (measure_name == "rtr") {
+    measure = rtr::core::MakeRoundTripRankMeasure(scorer);
+  } else if (measure_name == "rtr+") {
+    measure = rtr::core::MakeRoundTripRankPlusMeasure(scorer, beta);
+  } else if (measure_name == "f") {
+    measure = rtr::ranking::MakeFRankMeasure(scorer);
+  } else if (measure_name == "t") {
+    measure = rtr::ranking::MakeTRankMeasure(scorer);
+  } else {
+    std::fprintf(stderr, "unknown measure '%s' (rtr|rtr+|f|t)\n",
+                 measure_name.c_str());
+    return 2;
+  }
+
+  rtr::WallTimer timer;
+  std::vector<double> scores = measure->Score(query);
+  std::vector<NodeId> ranked;
+  if (flags.Has("type")) {
+    std::string type_name = flags.GetString("type", "");
+    rtr::NodeTypeId type = 0;
+    bool found = false;
+    for (size_t t = 0; t < graph.type_names().size(); ++t) {
+      if (graph.type_names()[t] == type_name) {
+        type = static_cast<rtr::NodeTypeId>(t);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown node type '%s'\n", type_name.c_str());
+      return 2;
+    }
+    ranked = rtr::eval::FilteredRanking(graph, scores, query, type,
+                                        static_cast<size_t>(k));
+  } else {
+    ranked = rtr::ranking::TopKNodes(scores, static_cast<size_t>(k), query);
+  }
+  std::printf("%s results in %.1f ms:\n", measure->name().c_str(),
+              timer.ElapsedMillis());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("%3zu. node %-9u (%s)  score %.6g\n", i + 1, ranked[i],
+                graph.type_name(graph.node_type(ranked[i])).c_str(),
+                scores[ranked[i]]);
+  }
+  return 0;
+}
+
+int CmdTopK(const Flags& flags) {
+  Graph graph = LoadGraphOrDie(flags);
+  std::vector<NodeId> query = ParseQuery(flags.GetString("query", ""));
+  if (query.empty()) {
+    std::fprintf(stderr, "missing --query\n");
+    return 2;
+  }
+  rtr::core::TopKParams params;
+  params.k = flags.GetInt("k", 10);
+  params.epsilon = flags.GetDouble("eps", 0.01);
+  std::string scheme = flags.GetString("scheme", "2sbound");
+  if (scheme == "2sbound") {
+    params.scheme = rtr::core::TopKScheme::k2SBound;
+  } else if (scheme == "gupta") {
+    params.scheme = rtr::core::TopKScheme::kGupta;
+  } else if (scheme == "sarkar") {
+    params.scheme = rtr::core::TopKScheme::kSarkar;
+  } else if (scheme == "g+s") {
+    params.scheme = rtr::core::TopKScheme::kGPlusS;
+  } else if (scheme == "naive") {
+    params.scheme = rtr::core::TopKScheme::kNaive;
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+    return 2;
+  }
+  rtr::WallTimer timer;
+  rtr::StatusOr<rtr::core::TopKResult> result =
+      rtr::core::TopKRoundTripRank(graph, query, params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s top-%d in %.1f ms (%d rounds, active set %zu nodes, "
+              "%.3f MB)%s:\n",
+              rtr::core::TopKSchemeName(params.scheme), params.k,
+              timer.ElapsedMillis(), result->rounds, result->active_nodes,
+              result->active_set_bytes / 1e6,
+              result->converged ? "" : " [NOT CONVERGED]");
+  for (size_t i = 0; i < result->entries.size(); ++i) {
+    const rtr::core::TopKEntry& entry = result->entries[i];
+    std::printf("%3zu. node %-9u (%s)  r in [%.6g, %.6g]\n", i + 1,
+                entry.node,
+                graph.type_name(graph.node_type(entry.node)).c_str(),
+                entry.lower, entry.upper);
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: rtr <generate|info|rank|topk> [--flag value ...]\n"
+               "see the header of tools/rtr_cli.cc for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  Flags flags(argc, argv, 2);
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "rank") return CmdRank(flags);
+  if (command == "topk") return CmdTopK(flags);
+  PrintUsage();
+  return 2;
+}
