@@ -2,13 +2,14 @@
 #define RTR_BENCH_BENCH_COMMON_H_
 
 // Shared plumbing for the experiment-reproduction binaries (one binary per
-// table/figure of the paper; see DESIGN.md §3).
+// table/figure of the paper; see DESIGN.md §3 "Experiment binaries").
 //
 // Environment knobs:
-//   RTR_QUERIES      — test queries per effectiveness task   (default 120)
-//   RTR_DEV_QUERIES  — development queries for beta tuning   (default 80)
-//   RTR_EFF_QUERIES  — queries per efficiency measurement    (default 30)
-//   RTR_SCALE_PAPERS — paper count of the "full" BibNet      (default 40000)
+//   RTR_QUERIES        — test queries per effectiveness task   (default 120)
+//   RTR_DEV_QUERIES    — development queries for beta tuning   (default 80)
+//   RTR_EFF_QUERIES    — queries per efficiency measurement    (default 30)
+//   RTR_SCALE_PAPERS   — paper count of the "full" BibNet      (default 40000)
+//   RTR_SCALE_CONCEPTS — concept count of the "full" QLog      (default 12000)
 
 #include <cstdio>
 #include <cstdlib>

@@ -39,7 +39,10 @@ inline SnapshotPoint MeasureSnapshot(const Graph& g, const std::string& label,
   Rng rng(seed);
   std::vector<double> active_mb, query_ms;
   int sampled = 0;
+  int attempts_left = 1000 + 10 * num_queries;
   while (sampled < num_queries) {
+    CHECK_GT(attempts_left--, 0)
+        << "could not sample nodes with outgoing arcs in snapshot " << label;
     NodeId q = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
     if (g.out_degree(q) == 0) continue;
     ++sampled;

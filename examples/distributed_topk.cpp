@@ -40,10 +40,16 @@ int main(int argc, char** argv) {
   params.epsilon = 0.01;
   rtr::Rng rng(99);
   std::printf("\nrunning 5 queries:\n");
+  int retries_left = 1000;
   for (int i = 0; i < 5; ++i) {
     rtr::NodeId query = static_cast<rtr::NodeId>(
         rng.NextUint64(graph.num_nodes()));
     if (graph.out_degree(query) == 0) {
+      if (--retries_left == 0) {
+        std::fprintf(stderr,
+                     "could not sample a node with outgoing arcs\n");
+        return 1;
+      }
       --i;
       continue;
     }

@@ -223,10 +223,8 @@ StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
   }
   result.active_nodes = nodes;
   result.active_arcs = arcs;
-  // Node record: id + 4 bounds; arc record: endpoint + weight + prob.
   result.active_set_bytes =
-      nodes * (sizeof(NodeId) + 4 * sizeof(double)) +
-      arcs * (sizeof(NodeId) + 2 * sizeof(double));
+      nodes * kActiveNodeRecordBytes + arcs * kActiveArcRecordBytes;
   return result;
 }
 

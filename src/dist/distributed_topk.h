@@ -1,0 +1,126 @@
+#ifndef RTR_DIST_DISTRIBUTED_TOPK_H_
+#define RTR_DIST_DISTRIBUTED_TOPK_H_
+
+// Distributed top-K query processing (Sect. V-B of the paper).
+//
+// Architecture (Sect. V-B2): the graph is striped across several Graph
+// Processors (GPs); an Application Processor (AP) runs 2SBound and fetches
+// the per-node records it touches — the query's *active set* — from the
+// owning GPs in batched requests. Because the active set stays a tiny
+// fraction of the graph (Sect. V-B1, Figs. 12-13), the AP's working set and
+// the GP traffic per query are small and nearly independent of graph size.
+//
+// This in-process simulation keeps the data movement honest: each
+// GraphProcessor holds a real copy of its stripe's adjacency, the AP
+// assembles the active set exclusively out of GP responses, and the returned
+// byte/request counts are measured from those responses, not estimated.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/twosbound.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace rtr::dist {
+
+// One node's shard record as served by a GP: the node id plus copies of its
+// incident arcs (the unit of transfer of Sect. V-B2).
+struct NodeRecord {
+  NodeId node = kInvalidNode;
+  std::vector<OutArc> out_arcs;
+  std::vector<InArc> in_arcs;
+
+  // Wire size of this record, in the same units as the local active-set
+  // accounting so local and distributed byte counts agree.
+  size_t WireBytes() const {
+    return core::kActiveNodeRecordBytes +
+           (out_arcs.size() + in_arcs.size()) * core::kActiveArcRecordBytes;
+  }
+};
+
+// A graph processor owning one stripe of the node set (node v belongs to GP
+// v mod num_gps). Stores the owned nodes' full adjacency in CSR form and
+// serves batched record fetches.
+class GraphProcessor {
+ public:
+  // Builds the stripe of `g` owned by processor `id` out of `num_gps`.
+  GraphProcessor(const Graph& g, int id, int num_gps);
+
+  int id() const { return id_; }
+  size_t num_owned_nodes() const { return owned_nodes_.size(); }
+  // Resident size of this stripe's storage, the per-GP series of Fig. 12.
+  size_t stored_bytes() const { return stored_bytes_; }
+  // Owned node ids, ascending.
+  const std::vector<NodeId>& owned_nodes() const { return owned_nodes_; }
+
+  bool Owns(NodeId v) const { return v % num_gps_ == static_cast<NodeId>(id_); }
+
+  // Serves one batched request: appends a record per requested node to
+  // `out`. Every node in `nodes` must be owned by this GP.
+  Status Fetch(const std::vector<NodeId>& nodes,
+               std::vector<NodeRecord>* out) const;
+
+ private:
+  int id_ = 0;
+  int num_gps_ = 1;
+  std::vector<NodeId> owned_nodes_;       // ascending
+  std::vector<size_t> out_offsets_;       // size owned_nodes_.size()+1
+  std::vector<OutArc> out_arcs_;
+  std::vector<size_t> in_offsets_;        // size owned_nodes_.size()+1
+  std::vector<InArc> in_arcs_;
+  size_t stored_bytes_ = 0;
+};
+
+// A set of graph processors jointly storing one graph, nodes striped
+// round-robin. The cluster also keeps the full graph for the AP-side
+// algorithm run (in a real deployment the AP holds only the active set; the
+// simulation cross-checks that the GP responses reconstruct it exactly).
+class Cluster {
+ public:
+  // Requires num_gps >= 1 (CHECK-enforced).
+  Cluster(const Graph& g, int num_gps);
+
+  int num_gps() const { return static_cast<int>(gps_.size()); }
+  const std::vector<GraphProcessor>& gps() const { return gps_; }
+  const Graph& graph() const { return *graph_; }
+
+  // GP owning node v.
+  int OwnerOf(NodeId v) const { return static_cast<int>(v % gps_.size()); }
+
+  // Sum of all GPs' stored bytes — the cluster-wide snapshot size.
+  size_t total_stored_bytes() const { return total_stored_bytes_; }
+
+ private:
+  const Graph* graph_;  // not owned; must outlive the cluster
+  std::vector<GraphProcessor> gps_;
+  size_t total_stored_bytes_ = 0;
+};
+
+struct DistributedTopKResult {
+  core::TopKResult topk;
+  // End-to-end AP wall time for the query, including GP fetches.
+  double query_millis = 0.0;
+  // Active-set economics (Sect. V-B1), measured from the GP responses.
+  size_t active_nodes = 0;
+  size_t active_set_bytes = 0;
+  // Batched GP fetches issued by the AP for this query.
+  size_t requests_sent = 0;
+};
+
+// Maximum node records per GP request; the AP splits larger fetches into
+// multiple requests (message-size cap of the AP/GP protocol).
+inline constexpr size_t kMaxRecordsPerRequest = 256;
+
+// Answers a top-K RoundTripRank query on the clustered graph: runs 2SBound
+// on the AP, replays its active set (TopKResult::active_node_ids) through
+// batched per-GP fetches, verifies the responses reconstruct the active
+// nodes' adjacency exactly, and reports the measured traffic.
+StatusOr<DistributedTopKResult> DistributedTopK(const Cluster& cluster,
+                                                const Query& query,
+                                                const core::TopKParams& params);
+
+}  // namespace rtr::dist
+
+#endif  // RTR_DIST_DISTRIBUTED_TOPK_H_

@@ -1,0 +1,187 @@
+#include "dist/distributed_topk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/twosbound.h"
+#include "datasets/qlog.h"
+#include "graph/builder.h"
+
+namespace rtr {
+namespace {
+
+Graph SmallRandomishGraph() {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n");
+  const NodeId n = 50;
+  b.AddNodes(n, t);
+  // Deterministic pseudo-random sprinkle of arcs with varied weights.
+  for (NodeId u = 0; u < n; ++u) {
+    for (int j = 1; j <= 3; ++j) {
+      NodeId v = (u * 7 + static_cast<NodeId>(j) * 11) % n;
+      if (v != u) b.AddUndirectedEdge(u, v, 1.0 + (u + j) % 5);
+    }
+  }
+  return b.Build().value();
+}
+
+datasets::QLog SmallQLog() {
+  datasets::QLogConfig config;
+  config.num_concepts = 400;
+  config.num_portal_urls = 10;
+  return datasets::QLog::Generate(config).value();
+}
+
+TEST(ClusterTest, EveryNodeOwnedExactlyOnce) {
+  Graph g = SmallRandomishGraph();
+  for (int num_gps : {1, 2, 3, 4, 7}) {
+    dist::Cluster cluster(g, num_gps);
+    ASSERT_EQ(cluster.gps().size(), static_cast<size_t>(num_gps));
+    std::vector<int> owners(g.num_nodes(), 0);
+    size_t total_owned = 0;
+    for (const dist::GraphProcessor& gp : cluster.gps()) {
+      total_owned += gp.num_owned_nodes();
+      for (NodeId v : gp.owned_nodes()) {
+        ASSERT_LT(v, g.num_nodes());
+        ++owners[v];
+        EXPECT_TRUE(gp.Owns(v));
+        EXPECT_EQ(cluster.OwnerOf(v), gp.id());
+      }
+    }
+    EXPECT_EQ(total_owned, g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(owners[v], 1) << "node " << v << " with " << num_gps
+                              << " GPs";
+    }
+  }
+}
+
+TEST(ClusterTest, StripingIsBalanced) {
+  Graph g = SmallRandomishGraph();
+  dist::Cluster cluster(g, 4);
+  size_t lo = g.num_nodes(), hi = 0;
+  for (const dist::GraphProcessor& gp : cluster.gps()) {
+    lo = std::min(lo, gp.num_owned_nodes());
+    hi = std::max(hi, gp.num_owned_nodes());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ClusterTest, StoredBytesSumToTotal) {
+  Graph g = SmallRandomishGraph();
+  for (int num_gps : {1, 3, 5}) {
+    dist::Cluster cluster(g, num_gps);
+    size_t sum = 0;
+    for (const dist::GraphProcessor& gp : cluster.gps()) {
+      EXPECT_GT(gp.stored_bytes(), 0u);
+      sum += gp.stored_bytes();
+    }
+    EXPECT_EQ(sum, cluster.total_stored_bytes());
+  }
+}
+
+TEST(GraphProcessorTest, FetchRejectsForeignNode) {
+  Graph g = SmallRandomishGraph();
+  dist::Cluster cluster(g, 2);
+  std::vector<dist::NodeRecord> records;
+  // Node 1 belongs to GP 1, not GP 0.
+  Status status = cluster.gps()[0].Fetch({1}, &records);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistributedTopKTest, SingleGpDegeneratesToLocal) {
+  Graph g = SmallRandomishGraph();
+  dist::Cluster cluster(g, 1);
+  core::TopKParams params;
+  params.k = 5;
+  params.epsilon = 0.001;
+  core::TopKResult local = core::TopKRoundTripRank(g, {0}, params).value();
+  dist::DistributedTopKResult distributed =
+      dist::DistributedTopK(cluster, {0}, params).value();
+  ASSERT_EQ(distributed.topk.entries.size(), local.entries.size());
+  for (size_t i = 0; i < local.entries.size(); ++i) {
+    EXPECT_EQ(distributed.topk.entries[i].node, local.entries[i].node);
+    EXPECT_DOUBLE_EQ(distributed.topk.entries[i].lower,
+                     local.entries[i].lower);
+  }
+  EXPECT_EQ(distributed.active_nodes, local.active_nodes);
+  EXPECT_EQ(distributed.active_set_bytes, local.active_set_bytes);
+}
+
+TEST(DistributedTopKTest, MatchesLocalRankingAcrossGpCounts) {
+  datasets::QLog qlog = SmallQLog();
+  const Graph& g = qlog.graph();
+  core::TopKParams params;
+  params.k = 8;
+  params.epsilon = 0.005;
+  NodeId query = 0;
+  while (query < g.num_nodes() && g.out_degree(query) == 0) ++query;
+  ASSERT_LT(query, g.num_nodes());
+  core::TopKResult local = core::TopKRoundTripRank(g, {query}, params).value();
+  for (int num_gps : {1, 2, 3, 4}) {
+    dist::Cluster cluster(g, num_gps);
+    dist::DistributedTopKResult distributed =
+        dist::DistributedTopK(cluster, {query}, params).value();
+    ASSERT_EQ(distributed.topk.entries.size(), local.entries.size())
+        << num_gps << " GPs";
+    for (size_t i = 0; i < local.entries.size(); ++i) {
+      EXPECT_EQ(distributed.topk.entries[i].node, local.entries[i].node)
+          << "rank " << i << " with " << num_gps << " GPs";
+    }
+    // The replay serves exactly the active set, and byte accounting agrees
+    // with the local run's formula regardless of the striping.
+    EXPECT_EQ(distributed.active_nodes, local.active_nodes);
+    EXPECT_EQ(distributed.active_set_bytes, local.active_set_bytes);
+    EXPECT_GE(distributed.requests_sent, 1u);
+    // Fig. 12-13 economics: the active set is a strict subset of the
+    // cluster-wide storage.
+    EXPECT_LT(distributed.active_set_bytes, cluster.total_stored_bytes());
+  }
+}
+
+TEST(DistributedTopKTest, RequestBatchingCapIsRespected) {
+  datasets::QLog qlog = SmallQLog();
+  const Graph& g = qlog.graph();
+  core::TopKParams params;
+  params.k = 8;
+  params.epsilon = 0.005;
+  NodeId query = 0;
+  while (query < g.num_nodes() && g.out_degree(query) == 0) ++query;
+  ASSERT_LT(query, g.num_nodes());
+  dist::Cluster cluster(g, 3);
+  dist::DistributedTopKResult result =
+      dist::DistributedTopK(cluster, {query}, params).value();
+  // Enough requests to carry every record under the per-request cap.
+  size_t min_requests =
+      (result.active_nodes + dist::kMaxRecordsPerRequest - 1) /
+      dist::kMaxRecordsPerRequest;
+  EXPECT_GE(result.requests_sent, min_requests);
+  // And no more than one partially-filled request per GP.
+  EXPECT_LE(result.requests_sent, min_requests + 3);
+}
+
+TEST(DistributedTopKTest, RejectsNaiveScheme) {
+  Graph g = SmallRandomishGraph();
+  dist::Cluster cluster(g, 2);
+  core::TopKParams params;
+  params.scheme = core::TopKScheme::kNaive;
+  StatusOr<dist::DistributedTopKResult> result =
+      dist::DistributedTopK(cluster, {0}, params);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistributedTopKTest, PropagatesInvalidQuery) {
+  Graph g = SmallRandomishGraph();
+  dist::Cluster cluster(g, 2);
+  core::TopKParams params;
+  StatusOr<dist::DistributedTopKResult> result =
+      dist::DistributedTopK(cluster, {}, params);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rtr
