@@ -14,10 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "datasets/bibnet.h"
 #include "datasets/qlog.h"
+#include "graph/graph.h"
+#include "graph/types.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace rtr::bench {
 
@@ -57,6 +61,35 @@ inline datasets::QLog MakeFullQLog() {
   config.num_concepts = EnvInt("RTR_SCALE_CONCEPTS", 12000);
   config.num_portal_urls = 80;
   return datasets::QLog::Generate(config).value();
+}
+
+// Draws random nodes until one with at least one outgoing arc comes up —
+// dangling nodes cannot anchor a random walk, so every query harness
+// rejects them. Returns kInvalidNode after `max_attempts` failed draws
+// (e.g., a pathological graph with almost only dangling nodes). Shared by
+// the distributed example, the snapshot experiments, and the serve bench.
+inline NodeId SampleQueryNode(const Graph& g, Rng& rng,
+                              int max_attempts = 1000) {
+  if (g.num_nodes() == 0) return kInvalidNode;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    NodeId v = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+    if (g.out_degree(v) > 0) return v;
+  }
+  return kInvalidNode;
+}
+
+// Same rejection sampling restricted to a candidate list (e.g., one node
+// type, like QLog phrases for the serve query stream).
+inline NodeId SampleQueryNode(const Graph& g,
+                              const std::vector<NodeId>& candidates,
+                              Rng& rng, int max_attempts = 1000) {
+  if (candidates.empty()) return kInvalidNode;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    NodeId v = candidates[static_cast<size_t>(
+        rng.NextUint64(candidates.size()))];
+    if (g.out_degree(v) > 0) return v;
+  }
+  return kInvalidNode;
 }
 
 inline void PrintBanner(const char* experiment, const char* description) {

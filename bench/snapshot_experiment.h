@@ -38,14 +38,10 @@ inline SnapshotPoint MeasureSnapshot(const Graph& g, const std::string& label,
   dist::Cluster cluster(g, num_gps);
   Rng rng(seed);
   std::vector<double> active_mb, query_ms;
-  int sampled = 0;
-  int attempts_left = 1000 + 10 * num_queries;
-  while (sampled < num_queries) {
-    CHECK_GT(attempts_left--, 0)
+  for (int sampled = 0; sampled < num_queries; ++sampled) {
+    NodeId q = SampleQueryNode(g, rng);
+    CHECK_NE(q, kInvalidNode)
         << "could not sample nodes with outgoing arcs in snapshot " << label;
-    NodeId q = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
-    if (g.out_degree(q) == 0) continue;
-    ++sampled;
     core::TopKParams params;
     params.k = 10;
     params.epsilon = 0.01;

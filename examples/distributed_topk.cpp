@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_common.h"
 #include "core/twosbound.h"
 #include "datasets/bibnet.h"
 #include "dist/distributed_topk.h"
@@ -40,18 +41,11 @@ int main(int argc, char** argv) {
   params.epsilon = 0.01;
   rtr::Rng rng(99);
   std::printf("\nrunning 5 queries:\n");
-  int retries_left = 1000;
   for (int i = 0; i < 5; ++i) {
-    rtr::NodeId query = static_cast<rtr::NodeId>(
-        rng.NextUint64(graph.num_nodes()));
-    if (graph.out_degree(query) == 0) {
-      if (--retries_left == 0) {
-        std::fprintf(stderr,
-                     "could not sample a node with outgoing arcs\n");
-        return 1;
-      }
-      --i;
-      continue;
+    rtr::NodeId query = rtr::bench::SampleQueryNode(graph, rng);
+    if (query == rtr::kInvalidNode) {
+      std::fprintf(stderr, "could not sample a node with outgoing arcs\n");
+      return 1;
     }
     rtr::dist::DistributedTopKResult result =
         rtr::dist::DistributedTopK(cluster, {query}, params).value();

@@ -72,6 +72,12 @@ struct TopKResult {
 // Runs the requested top-K scheme for RoundTripRank r(q, v) ∝ f(q, v)t(q, v).
 // kNaive computes exact scores iteratively; all other schemes run
 // branch-and-bound neighborhood expansion with the scheme's bound updates.
+//
+// Thread safety: pure with respect to `g` — the bounders and every other
+// piece of per-query state live on this call's stack, and the Graph is only
+// read. Concurrent calls over one shared Graph are safe and return results
+// bit-identical to serial execution (audited for serve::QueryService; the
+// determinism is also what makes cached results transparent).
 StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
                                        const TopKParams& params);
 

@@ -43,6 +43,10 @@ struct NodeRecord {
 // A graph processor owning one stripe of the node set (node v belongs to GP
 // v mod num_gps). Stores the owned nodes' full adjacency in CSR form and
 // serves batched record fetches.
+//
+// Thread safety: immutable after construction; Fetch and the accessors are
+// const and may be called concurrently (the serving layer issues fetches
+// from several worker threads against one cluster).
 class GraphProcessor {
  public:
   // Builds the stripe of `g` owned by processor `id` out of `num_gps`.
@@ -117,6 +121,10 @@ inline constexpr size_t kMaxRecordsPerRequest = 256;
 // on the AP, replays its active set (TopKResult::active_node_ids) through
 // batched per-GP fetches, verifies the responses reconstruct the active
 // nodes' adjacency exactly, and reports the measured traffic.
+//
+// Thread safety: the cluster is only read and all per-query state is local,
+// so concurrent calls over one Cluster are safe (see core/twosbound.h for
+// the underlying engine's guarantee).
 StatusOr<DistributedTopKResult> DistributedTopK(const Cluster& cluster,
                                                 const Query& query,
                                                 const core::TopKParams& params);

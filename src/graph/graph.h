@@ -21,6 +21,12 @@ namespace rtr {
 // matching the iterative formulations in Eqs. 5 and 8.
 //
 // Construct via GraphBuilder::Build().
+//
+// Thread safety: a Graph never mutates after Build(), and every member
+// function is const and touches only the frozen CSR arrays. Any number of
+// threads may therefore share one Graph with no synchronization — the
+// contract the serving layer (serve::QueryService) relies on to run one
+// graph under a worker pool.
 class Graph {
  public:
   Graph() = default;

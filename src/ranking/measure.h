@@ -11,7 +11,9 @@ namespace rtr::ranking {
 
 // A graph-based proximity measure bound to one graph. Implementations may
 // hold per-graph precomputation (e.g., SimRank fingerprints) and per-query
-// caches; Score therefore is non-const.
+// caches; Score therefore is non-const — and, by the same token, a measure
+// instance is NOT safe for concurrent Score calls. Use one instance per
+// thread; the underlying Graph may be shared freely.
 //
 // The returned vector has one entry per node; higher scores mean closer to
 // the query. Ties are broken downstream by node id.

@@ -47,6 +47,11 @@ struct FTVectors {
 // Computes and caches (f, t) per query. Multiple measures built on the same
 // scorer (RoundTripRank, RoundTripRank+ sweeps, F-Rank, T-Rank, harmonic /
 // arithmetic combinations) share one pair of power iterations per query.
+//
+// NOT thread-safe: Compute overwrites the single-entry query cache and
+// returns a reference into it. Concurrent servers must instantiate one
+// FTScorer (and one measure stack) per worker thread; sharing the Graph
+// underneath is safe (see graph/graph.h).
 class FTScorer {
  public:
   explicit FTScorer(const Graph& g, const WalkParams& params = {})

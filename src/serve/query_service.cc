@@ -1,0 +1,218 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rtr::serve {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kLocal:
+      return "local";
+    case Backend::kDistributed:
+      return "distributed";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(const Graph& graph, const ServiceOptions& options)
+    : graph_(graph),
+      backend_(Backend::kLocal),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  CHECK_GE(options_.num_workers, 1);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+}
+
+QueryService::QueryService(const dist::Cluster& cluster,
+                           const ServiceOptions& options)
+    : graph_(cluster.graph()),
+      cluster_(&cluster),
+      backend_(Backend::kDistributed),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  CHECK_GE(options_.num_workers, 1);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Status QueryService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) {
+    return Status::FailedPrecondition("service already started");
+  }
+  started_ = true;
+  uptime_.Restart();
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&QueryService::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void QueryService::Shutdown() {
+  // Serializes concurrent Shutdown calls: a second caller blocks here until
+  // the first has drained and joined, so "idempotent" also means "safe to
+  // race" (e.g., an explicit Shutdown racing the destructor's).
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Never-started services have no workers to drain the queue: complete the
+  // admitted requests here so every accepted callback fires exactly once.
+  std::deque<Task> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(queue_);
+    if (started_ && frozen_elapsed_seconds_ < 0.0) {
+      frozen_elapsed_seconds_ = uptime_.ElapsedSeconds();
+    }
+  }
+  for (Task& task : orphaned) {
+    ServeResponse response;
+    response.status = Status::Unavailable("service shut down before execution");
+    response.queue_millis = task.admitted.ElapsedMillis();
+    response.total_millis = response.queue_millis;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (task.done) task.done(response);
+  }
+}
+
+Status QueryService::SubmitAsync(ServeRequest request, DoneCallback done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("service is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "admission queue full (capacity " +
+          std::to_string(options_.queue_capacity) + ")");
+    }
+    queue_.push_back(Task{std::move(request), std::move(done), WallTimer()});
+    // Count inside the critical section so no observer ever sees a task
+    // completed before it was accepted.
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+StatusOr<ServeResponse> QueryService::Call(const ServeRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      return Status::FailedPrecondition(
+          "Call requires a started service (no worker would ever answer)");
+    }
+  }
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  RTR_RETURN_IF_ERROR(SubmitAsync(
+      request, [&promise](const ServeResponse& r) { promise.set_value(r); }));
+  return future.get();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServeResponse response;
+    response.queue_millis = task.admitted.ElapsedMillis();
+    Execute(task.request, &response);
+    response.total_millis = task.admitted.ElapsedMillis();
+    latencies_.Record(response.total_millis);
+    if (response.total_millis > options_.slo_millis) {
+      slo_violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!response.status.ok()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (task.done) task.done(response);
+  }
+}
+
+void QueryService::Execute(const ServeRequest& request,
+                           ServeResponse* response) {
+  if (!options_.enable_cache) {
+    response->status = RunEngine(request, &response->topk);
+    return;
+  }
+  CacheKey key = CacheKey::Of(request.query, request.params);
+  // The deep copy into the response happens here, outside the shard lock.
+  if (std::shared_ptr<const core::TopKResult> hit = cache_.Lookup(key)) {
+    response->topk = *hit;
+    response->cache_hit = true;
+    return;
+  }
+  response->status = RunEngine(request, &response->topk);
+  if (response->status.ok()) cache_.Insert(key, response->topk);
+}
+
+Status QueryService::RunEngine(const ServeRequest& request,
+                               core::TopKResult* topk) const {
+  if (backend_ == Backend::kLocal) {
+    StatusOr<core::TopKResult> result =
+        core::TopKRoundTripRank(graph_, request.query, request.params);
+    if (!result.ok()) return result.status();
+    *topk = std::move(result).value();
+  } else {
+    StatusOr<dist::DistributedTopKResult> result =
+        dist::DistributedTopK(*cluster_, request.query, request.params);
+    if (!result.ok()) return result.status();
+    *topk = std::move(result->topk);
+  }
+  return Status::OK();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  CacheStats cache_stats = cache_.stats();
+  stats.cache_hits = cache_stats.hits;
+  stats.cache_misses = cache_stats.misses;
+  stats.cache_evictions = cache_stats.evictions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      stats.elapsed_seconds = frozen_elapsed_seconds_ >= 0.0
+                                  ? frozen_elapsed_seconds_
+                                  : uptime_.ElapsedSeconds();
+    }
+  }
+  if (stats.elapsed_seconds > 0.0) {
+    stats.qps = static_cast<double>(stats.completed) / stats.elapsed_seconds;
+  }
+  stats.p50_millis = latencies_.P50();
+  stats.p95_millis = latencies_.P95();
+  stats.p99_millis = latencies_.P99();
+  return stats;
+}
+
+}  // namespace rtr::serve

@@ -1,0 +1,186 @@
+#ifndef RTR_SERVE_QUERY_SERVICE_H_
+#define RTR_SERVE_QUERY_SERVICE_H_
+
+// Concurrent query-serving subsystem (DESIGN.md §5): a fixed-size worker
+// pool drains a bounded admission queue of top-K RoundTripRank requests,
+// fronting either the local 2SBound engine or the dist::Cluster replay
+// behind one API. Per-query latencies feed a util::LatencyHistogram for
+// p50/p95/p99 + QPS reporting, and results are memoized in a sharded LRU
+// ResultCache.
+//
+// Thread-safety contract (audited in PR 2; see also graph/graph.h,
+// core/twosbound.h, dist/distributed_topk.h): the Graph is immutable and
+// TopKRoundTripRank/DistributedTopK build all per-query state on the
+// caller's stack, so any number of workers can share one Graph / one
+// Cluster with no synchronization. Components with per-query mutable
+// caches (ranking::FTScorer, ProximityMeasure implementations) are NOT used
+// by the top-K path; if the service ever serves full rankings, those must
+// be instantiated per worker.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/twosbound.h"
+#include "dist/distributed_topk.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "serve/result_cache.h"
+#include "util/latency_histogram.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace rtr::serve {
+
+// Which engine answers cache misses.
+enum class Backend {
+  kLocal,        // core::TopKRoundTripRank on the shared Graph
+  kDistributed,  // dist::DistributedTopK on a shared dist::Cluster
+};
+
+const char* BackendName(Backend backend);
+
+struct ServiceOptions {
+  int num_workers = 4;
+  // Admission-queue bound; SubmitAsync rejects with kUnavailable beyond it
+  // (load shedding instead of unbounded memory growth — no exceptions, per
+  // repo conventions).
+  size_t queue_capacity = 256;
+  bool enable_cache = true;
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+  // Queries slower than this (end-to-end, admission to completion) count as
+  // SLO violations in ServiceStats.
+  double slo_millis = 100.0;
+};
+
+struct ServeRequest {
+  Query query;
+  core::TopKParams params;
+};
+
+struct ServeResponse {
+  // Engine-level outcome. One transport-level status exists: admitted
+  // requests that a never-started service still holds at Shutdown complete
+  // with kUnavailable (see Shutdown).
+  Status status;
+  core::TopKResult topk;
+  bool cache_hit = false;
+  // Time from admission to worker pickup, and to completion.
+  double queue_millis = 0.0;
+  double total_millis = 0.0;
+};
+
+// Monotonic service counters plus derived latency/throughput figures.
+struct ServiceStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;   // admission-queue overflow or stopped service
+  // Requests whose callback fired, including those a never-started
+  // service completed as kUnavailable at Shutdown; only requests actually
+  // served by a worker are recorded in the latency histogram.
+  uint64_t completed = 0;
+  uint64_t failed = 0;     // completed with a non-OK status
+  uint64_t slo_violations = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  double elapsed_seconds = 0.0;  // since Start()
+  double qps = 0.0;              // completed / elapsed_seconds
+  double p50_millis = 0.0;
+  double p95_millis = 0.0;
+  double p99_millis = 0.0;
+};
+
+// A thread-pooled top-K RoundTripRank service over one immutable graph.
+//
+// Lifecycle: construct -> (optionally SubmitAsync, which queues) -> Start()
+// -> ... -> Shutdown(). Shutdown drains every admitted request before
+// joining the workers, so every accepted SubmitAsync eventually invokes its
+// callback exactly once. The destructor calls Shutdown.
+class QueryService {
+ public:
+  // Serves from the local engine. `graph` must outlive the service.
+  QueryService(const Graph& graph, const ServiceOptions& options);
+  // Serves through the distributed AP/GP replay. `cluster` (and the graph
+  // it references) must outlive the service.
+  QueryService(const dist::Cluster& cluster, const ServiceOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  Backend backend() const { return backend_; }
+  const ServiceOptions& options() const { return options_; }
+
+  // Spawns the worker pool. Fails with kFailedPrecondition if already
+  // started (including after Shutdown — services are not restartable).
+  Status Start();
+
+  // Stops admission, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+  // Invoked on a worker thread when the request completes.
+  using DoneCallback = std::function<void(const ServeResponse&)>;
+
+  // Enqueues a request. Returns kUnavailable when the admission queue is
+  // full or the service is shutting down; the callback is not invoked for
+  // rejected requests.
+  Status SubmitAsync(ServeRequest request, DoneCallback done);
+
+  // Blocking convenience wrapper: submit and wait for the response. The
+  // service must be started (otherwise the call would wait forever and
+  // instead fails with kFailedPrecondition).
+  StatusOr<ServeResponse> Call(const ServeRequest& request);
+
+  ServiceStats stats() const;
+  const LatencyHistogram& latencies() const { return latencies_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  struct Task {
+    ServeRequest request;
+    DoneCallback done;
+    WallTimer admitted;  // started at admission
+  };
+
+  void WorkerLoop();
+  // Cache lookup + engine dispatch; fills everything but the timing fields.
+  void Execute(const ServeRequest& request, ServeResponse* response);
+  // Backend dispatch for one cache miss.
+  Status RunEngine(const ServeRequest& request, core::TopKResult* topk) const;
+
+  const Graph& graph_;
+  const dist::Cluster* cluster_ = nullptr;  // non-null iff kDistributed
+  Backend backend_;
+  ServiceOptions options_;
+  ResultCache cache_;
+  LatencyHistogram latencies_;
+
+  mutable std::mutex mu_;
+  // Held for the whole of Shutdown; see the comment there.
+  std::mutex shutdown_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+  WallTimer uptime_;  // restarted by Start()
+  // Service uptime frozen at Shutdown so post-mortem stats keep the QPS
+  // measured while the pool was live; < 0 while running.
+  double frozen_elapsed_seconds_ = -1.0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> slo_violations_{0};
+};
+
+}  // namespace rtr::serve
+
+#endif  // RTR_SERVE_QUERY_SERVICE_H_

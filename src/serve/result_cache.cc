@@ -1,0 +1,108 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace rtr::serve {
+
+namespace {
+
+// SplitMix64 finalizer; mixes each field into the running hash.
+inline size_t Mix(size_t h, uint64_t v) {
+  uint64_t x = static_cast<uint64_t>(h) ^ (v + 0x9e3779b97f4a7c15ULL +
+                                           (static_cast<uint64_t>(h) << 6));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
+inline uint64_t DoubleBits(double d) {
+  // operator== compares doubles numerically, so the hash must give equal
+  // keys equal hashes: fold -0.0 onto +0.0 (they compare equal but differ
+  // in bit pattern). NaN fields never compare equal, so any hash works.
+  if (d == 0.0) d = 0.0;
+  return std::bit_cast<uint64_t>(d);
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  size_t h = Mix(0, key.query.size());
+  for (NodeId v : key.query) h = Mix(h, v);
+  h = Mix(h, static_cast<uint64_t>(key.k));
+  h = Mix(h, DoubleBits(key.epsilon));
+  h = Mix(h, DoubleBits(key.alpha));
+  h = Mix(h, static_cast<uint64_t>(key.m_f));
+  h = Mix(h, static_cast<uint64_t>(key.m_t));
+  h = Mix(h, static_cast<uint64_t>(key.max_rounds));
+  h = Mix(h, static_cast<uint64_t>(key.scheme));
+  return h;
+}
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : shards_(std::max<size_t>(1, num_shards)) {
+  capacity = std::max<size_t>(1, capacity);
+  per_shard_capacity_ =
+      (capacity + shards_.size() - 1) / shards_.size();  // ceil
+}
+
+ResultCache::Shard& ResultCache::ShardOf(size_t hash) const {
+  return shards_[hash % shards_.size()];
+}
+
+std::shared_ptr<const core::TopKResult> ResultCache::Lookup(
+    const CacheKey& key) {
+  Shard& shard = ShardOf(CacheKeyHash()(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::Insert(const CacheKey& key, core::TopKResult result) {
+  auto value = std::make_shared<const core::TopKResult>(std::move(result));
+  Shard& shard = ShardOf(CacheKeyHash()(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace rtr::serve

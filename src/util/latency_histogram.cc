@@ -1,0 +1,74 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtr {
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t LatencyHistogram::BucketIndex(double millis) {
+  if (!(millis > kMinMillis)) return 0;
+  double raw = std::floor(std::log(millis / kMinMillis) / std::log(kGrowth));
+  if (raw >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(raw);
+}
+
+double LatencyHistogram::BucketLowerEdge(size_t i) {
+  return kMinMillis * std::pow(kGrowth, static_cast<double>(i));
+}
+
+void LatencyHistogram::Record(double millis) {
+  if (millis < 0.0) millis = 0.0;
+  buckets_[BucketIndex(millis)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_millis_.fetch_add(millis, std::memory_order_relaxed);
+  uint64_t nanos = static_cast<uint64_t>(millis * 1e6);
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::MeanMillis() const {
+  uint64_t n = Count();
+  return n == 0 ? 0.0 : sum_millis_.load(std::memory_order_relaxed) /
+                            static_cast<double>(n);
+}
+
+double LatencyHistogram::MaxMillis() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e6;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the quantile sample, 1-based; q = 0 means the first sample.
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // The true sample lies within the bucket; report its upper edge but
+      // never beyond the largest recorded value. The last bucket is
+      // open-ended, so its only meaningful upper edge is the max itself.
+      if (i + 1 == kNumBuckets) return MaxMillis();
+      return std::min(BucketLowerEdge(i + 1), MaxMillis());
+    }
+  }
+  return MaxMillis();
+}
+
+}  // namespace rtr

@@ -1,0 +1,67 @@
+#ifndef RTR_UTIL_LATENCY_HISTOGRAM_H_
+#define RTR_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rtr {
+
+// Concurrent fixed-bucket latency histogram for the serving layer's SLO
+// accounting. Buckets are geometrically spaced, so percentile estimates
+// carry at most one bucket of relative error (kGrowth - 1 = 25%) while
+// Record stays wait-free: one relaxed fetch_add per sample, no locks, no
+// allocation. Any number of threads may Record concurrently with readers;
+// readers see a (possibly slightly stale) consistent-enough view, which is
+// all latency reporting needs.
+class LatencyHistogram {
+ public:
+  // Bucket i covers millis in [kMinMillis * kGrowth^i, kMinMillis *
+  // kGrowth^(i+1)); samples below the range land in bucket 0, samples above
+  // in the last bucket. The range spans 1 microsecond to ~20 minutes.
+  static constexpr double kMinMillis = 1e-3;
+  static constexpr double kGrowth = 1.25;
+  static constexpr size_t kNumBuckets = 96;
+
+  LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  // Records one latency sample. Negative samples count as 0. Wait-free.
+  void Record(double millis);
+
+  // Total samples recorded.
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Mean of all recorded samples; 0 when empty.
+  double MeanMillis() const;
+
+  // Largest recorded sample (exact, not bucketed); 0 when empty.
+  double MaxMillis() const;
+
+  // Upper edge of the bucket holding the q-quantile sample (q in [0, 1]),
+  // i.e., an estimate overshooting the true quantile by at most a factor of
+  // kGrowth. Returns 0 when empty. P50/P95/P99 are shorthands.
+  double Percentile(double q) const;
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
+
+  // Lower edge of bucket i, in millis (exposed for tests).
+  static double BucketLowerEdge(size_t i);
+
+ private:
+  static size_t BucketIndex(double millis);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_millis_{0.0};
+  // Max encoded as nanoseconds so a plain integer CAS-max works.
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_LATENCY_HISTOGRAM_H_

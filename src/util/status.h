@@ -21,6 +21,9 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIoError = 7,
+  // Transient refusal: the operation may succeed if retried later (e.g., a
+  // serving admission queue at capacity, a service shutting down).
+  kUnavailable = 8,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -60,6 +63,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,349 @@
+#include "serve/query_service.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/twosbound.h"
+#include "datasets/bibnet.h"
+#include "dist/distributed_topk.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace rtr::serve {
+namespace {
+
+// One small BibNet shared by every test in this binary (generation is the
+// slow part, each top-K query is sub-millisecond at this scale).
+const datasets::BibNet& SharedNet() {
+  static const datasets::BibNet* net = [] {
+    datasets::BibNetConfig config;
+    config.num_papers = 800;
+    config.num_authors = 200;
+    return new datasets::BibNet(
+        datasets::BibNet::Generate(config).value());
+  }();
+  return *net;
+}
+
+core::TopKParams DefaultParams() {
+  core::TopKParams params;
+  params.k = 10;
+  params.epsilon = 0.01;
+  return params;
+}
+
+// A stream of `total` queries drawn from `unique` distinct non-dangling
+// nodes — repeats are what exercises the cache-hit path.
+std::vector<NodeId> MixedQueryStream(const Graph& g, int unique, int total,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> pool;
+  while (static_cast<int>(pool.size()) < unique) {
+    NodeId v = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+    if (g.out_degree(v) > 0) pool.push_back(v);
+  }
+  std::vector<NodeId> stream;
+  for (int i = 0; i < total; ++i) {
+    stream.push_back(pool[static_cast<size_t>(rng.NextUint64(pool.size()))]);
+  }
+  return stream;
+}
+
+void ExpectBitIdentical(const core::TopKResult& actual,
+                        const core::TopKResult& expected, NodeId query) {
+  ASSERT_EQ(actual.entries.size(), expected.entries.size())
+      << "query " << query;
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    EXPECT_EQ(actual.entries[i].node, expected.entries[i].node)
+        << "query " << query << " rank " << i;
+    // Bit-identical, not approximately equal: concurrency and caching must
+    // not perturb the arithmetic in any way.
+    EXPECT_EQ(actual.entries[i].lower, expected.entries[i].lower)
+        << "query " << query << " rank " << i;
+    EXPECT_EQ(actual.entries[i].upper, expected.entries[i].upper)
+        << "query " << query << " rank " << i;
+  }
+}
+
+// Acceptance-criterion test: >= 4 workers, >= 100 mixed cached/uncached
+// queries, responses bit-identical to serial TopKRoundTripRank.
+void RunBitIdenticalStream(Backend backend) {
+  const Graph& graph = SharedNet().graph();
+  core::TopKParams params = DefaultParams();
+  std::vector<NodeId> stream = MixedQueryStream(graph, 40, 120, 42);
+
+  // Serial references, computed once per distinct query.
+  std::vector<core::TopKResult> reference(graph.num_nodes());
+  std::vector<bool> have_reference(graph.num_nodes(), false);
+  for (NodeId q : stream) {
+    if (have_reference[q]) continue;
+    reference[q] = core::TopKRoundTripRank(graph, {q}, params).value();
+    have_reference[q] = true;
+  }
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = stream.size();
+  options.enable_cache = true;
+  options.cache_capacity = 64;
+
+  dist::Cluster cluster(graph, 3);
+  std::unique_ptr<QueryService> service_holder;
+  if (backend == Backend::kLocal) {
+    service_holder = std::make_unique<QueryService>(graph, options);
+  } else {
+    service_holder = std::make_unique<QueryService>(cluster, options);
+  }
+  QueryService& service = *service_holder;
+  ASSERT_TRUE(service.Start().ok());
+
+  // Callbacks write disjoint slots, so no lock is needed.
+  std::vector<ServeResponse> responses(stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(service
+                    .SubmitAsync({{stream[i]}, params},
+                                 [&responses, i](const ServeResponse& r) {
+                                   responses[i] = r;
+                                 })
+                    .ok());
+  }
+  service.Shutdown();
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, stream.size());
+  EXPECT_EQ(stats.completed, stream.size());
+  EXPECT_EQ(stats.failed, 0u);
+  // 40 unique nodes in 120 requests: both cache paths must have been taken.
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_EQ(service.latencies().Count(), stream.size());
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    ExpectBitIdentical(responses[i].topk, reference[stream[i]], stream[i]);
+  }
+}
+
+TEST(QueryServiceTest, BitIdenticalToSerialLocalBackend) {
+  RunBitIdenticalStream(Backend::kLocal);
+}
+
+TEST(QueryServiceTest, BitIdenticalToSerialDistributedBackend) {
+  RunBitIdenticalStream(Backend::kDistributed);
+}
+
+TEST(QueryServiceTest, AdmissionQueueOverflowShedsLoad) {
+  const Graph& graph = SharedNet().graph();
+  std::vector<NodeId> stream = MixedQueryStream(graph, 6, 6, 7);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 5;
+  QueryService service(graph, options);
+
+  // Submissions queue up before Start, so the overflow is deterministic.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service
+                    .SubmitAsync({{stream[static_cast<size_t>(i)]},
+                                  DefaultParams()},
+                                 [&done](const ServeResponse&) { ++done; })
+                    .ok());
+  }
+  Status overflow = service.SubmitAsync({{stream[5]}, DefaultParams()},
+                                        [&done](const ServeResponse&) {
+                                          ++done;
+                                        });
+  EXPECT_EQ(overflow.code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(service.Start().ok());
+  service.Shutdown();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 5u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(done.load(), 5);  // the rejected callback never fires
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
+  const Graph& graph = SharedNet().graph();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(graph, options);
+  ASSERT_TRUE(service.Start().ok());
+  service.Shutdown();
+  Status status = service.SubmitAsync({{0}, DefaultParams()}, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryServiceTest, CallRequiresStartedService) {
+  const Graph& graph = SharedNet().graph();
+  QueryService service(graph, ServiceOptions{});
+  StatusOr<ServeResponse> response =
+      service.Call({{0}, DefaultParams()});
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryServiceTest, StartTwiceFails) {
+  const Graph& graph = SharedNet().graph();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(graph, options);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.Start().code(), StatusCode::kFailedPrecondition);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, RepeatQueryHitsCacheThenEvicts) {
+  const Graph& graph = SharedNet().graph();
+  // Two *distinct* non-dangling nodes (MixedQueryStream's pool may repeat).
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.num_nodes() && nodes.size() < 2; ++v) {
+    if (graph.out_degree(v) > 0) nodes.push_back(v);
+  }
+  ASSERT_EQ(nodes.size(), 2u);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 1;
+  options.cache_shards = 1;
+  QueryService service(graph, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  ServeRequest first{{nodes[0]}, DefaultParams()};
+  ServeRequest second{{nodes[1]}, DefaultParams()};
+  StatusOr<ServeResponse> miss = service.Call(first);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->cache_hit);
+
+  StatusOr<ServeResponse> hit = service.Call(first);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  ExpectBitIdentical(hit->topk, miss->topk, nodes[0]);
+
+  // A different query evicts the single-entry cache...
+  ASSERT_TRUE(service.Call(second).ok());
+  // ...so the first query misses again.
+  StatusOr<ServeResponse> again = service.Call(first);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cache_hit);
+  EXPECT_GE(service.stats().cache_evictions, 1u);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, ChangedParamsBypassTheCache) {
+  const Graph& graph = SharedNet().graph();
+  std::vector<NodeId> nodes = MixedQueryStream(graph, 1, 1, 13);
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(graph, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  core::TopKParams params = DefaultParams();
+  ASSERT_TRUE(service.Call({{nodes[0]}, params}).ok());
+  params.k = 5;  // any parameter change is a different cache key
+  StatusOr<ServeResponse> other = service.Call({{nodes[0]}, params});
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->cache_hit);
+  EXPECT_EQ(other->topk.entries.size(), 5u);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, EngineErrorsPropagatePerQuery) {
+  const Graph& graph = SharedNet().graph();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(graph, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  NodeId out_of_range = static_cast<NodeId>(graph.num_nodes());
+  StatusOr<ServeResponse> bad = service.Call({{out_of_range},
+                                              DefaultParams()});
+  ASSERT_TRUE(bad.ok());  // the transport succeeded; the engine failed
+  EXPECT_EQ(bad->status.code(), StatusCode::kInvalidArgument);
+
+  // The service keeps serving after a failed query.
+  std::vector<NodeId> nodes = MixedQueryStream(graph, 1, 1, 17);
+  StatusOr<ServeResponse> good = service.Call({{nodes[0]}, DefaultParams()});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, NaiveSchemeRejectedByDistributedBackend) {
+  const Graph& graph = SharedNet().graph();
+  dist::Cluster cluster(graph, 2);
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(cluster, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<NodeId> nodes = MixedQueryStream(graph, 1, 1, 19);
+  core::TopKParams params = DefaultParams();
+  params.scheme = core::TopKScheme::kNaive;
+  StatusOr<ServeResponse> response = service.Call({{nodes[0]}, params});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, SloViolationAccounting) {
+  const Graph& graph = SharedNet().graph();
+  std::vector<NodeId> stream = MixedQueryStream(graph, 4, 8, 23);
+
+  // An impossible 0 ms SLO: every completed query violates it.
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.slo_millis = 0.0;
+  {
+    QueryService service(graph, options);
+    ASSERT_TRUE(service.Start().ok());
+    for (NodeId q : stream) {
+      ASSERT_TRUE(service.SubmitAsync({{q}, DefaultParams()}, nullptr).ok());
+    }
+    service.Shutdown();
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.slo_violations, stats.completed);
+    EXPECT_GT(stats.qps, 0.0);
+    EXPECT_GT(stats.p99_millis, 0.0);
+  }
+
+  // An unmissable SLO: zero violations.
+  options.slo_millis = 1e9;
+  {
+    QueryService service(graph, options);
+    ASSERT_TRUE(service.Start().ok());
+    for (NodeId q : stream) {
+      ASSERT_TRUE(service.SubmitAsync({{q}, DefaultParams()}, nullptr).ok());
+    }
+    service.Shutdown();
+    EXPECT_EQ(service.stats().slo_violations, 0u);
+  }
+}
+
+TEST(QueryServiceTest, ShutdownWithoutStartCompletesQueuedAsUnavailable) {
+  const Graph& graph = SharedNet().graph();
+  ServiceOptions options;
+  QueryService service(graph, options);
+  std::atomic<int> unavailable{0};
+  ASSERT_TRUE(service
+                  .SubmitAsync({{0}, DefaultParams()},
+                               [&unavailable](const ServeResponse& r) {
+                                 if (r.status.code() ==
+                                     StatusCode::kUnavailable) {
+                                   ++unavailable;
+                                 }
+                               })
+                  .ok());
+  service.Shutdown();
+  EXPECT_EQ(unavailable.load(), 1);  // the accepted callback fired once
+}
+
+}  // namespace
+}  // namespace rtr::serve

@@ -1,0 +1,145 @@
+#include "serve/result_cache.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/twosbound.h"
+
+namespace rtr::serve {
+namespace {
+
+core::TopKResult MakeResult(NodeId top) {
+  core::TopKResult result;
+  result.entries.push_back({top, 0.5, 0.6});
+  result.converged = true;
+  return result;
+}
+
+CacheKey MakeKey(NodeId query_node) {
+  core::TopKParams params;
+  return CacheKey::Of({query_node}, params);
+}
+
+TEST(ResultCacheTest, InsertThenLookupRoundTrips) {
+  ResultCache cache(/*capacity=*/8, /*num_shards=*/2);
+  cache.Insert(MakeKey(1), MakeResult(77));
+  std::shared_ptr<const core::TopKResult> out = cache.Lookup(MakeKey(1));
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->entries.size(), 1u);
+  EXPECT_EQ(out->entries[0].node, 77u);
+  EXPECT_EQ(out->entries[0].lower, 0.5);
+  EXPECT_EQ(out->entries[0].upper, 0.6);
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCacheTest, AnyParameterChangeIsADifferentKey) {
+  ResultCache cache(8, 1);
+  core::TopKParams params;
+  Query query = {5};
+  cache.Insert(CacheKey::Of(query, params), MakeResult(1));
+
+  core::TopKParams other = params;
+  other.epsilon = 0.02;
+  EXPECT_EQ(cache.Lookup(CacheKey::Of(query, other)), nullptr);
+  other = params;
+  other.k = 20;
+  EXPECT_EQ(cache.Lookup(CacheKey::Of(query, other)), nullptr);
+  other = params;
+  other.scheme = core::TopKScheme::kGupta;
+  EXPECT_EQ(cache.Lookup(CacheKey::Of(query, other)), nullptr);
+  // Multi-node queries differ from single-node prefixes.
+  EXPECT_EQ(cache.Lookup(CacheKey::Of({5, 6}, params)), nullptr);
+  EXPECT_NE(cache.Lookup(CacheKey::Of(query, params)), nullptr);
+}
+
+TEST(ResultCacheTest, LruEvictionPrefersStaleEntries) {
+  // Single shard so the LRU order is global and deterministic.
+  ResultCache cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Insert(MakeKey(1), MakeResult(1));
+  cache.Insert(MakeKey(2), MakeResult(2));
+  cache.Insert(MakeKey(3), MakeResult(3));
+
+  ASSERT_NE(cache.Lookup(MakeKey(1)), nullptr);  // 1 becomes most recent
+
+  cache.Insert(MakeKey(4), MakeResult(4));  // evicts 2, the LRU entry
+  EXPECT_NE(cache.Lookup(MakeKey(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(MakeKey(2)), nullptr);
+  EXPECT_NE(cache.Lookup(MakeKey(3)), nullptr);
+  EXPECT_NE(cache.Lookup(MakeKey(4)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(4, 1);
+  cache.Insert(MakeKey(1), MakeResult(10));
+  cache.Insert(MakeKey(1), MakeResult(20));
+  EXPECT_EQ(cache.size(), 1u);
+  std::shared_ptr<const core::TopKResult> out = cache.Lookup(MakeKey(1));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->entries[0].node, 20u);  // the refresh won
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ResultCacheTest, HitsSurviveEvictionOfTheEntry) {
+  // A handle returned by Lookup stays valid after the entry is evicted —
+  // the point of the shared_ptr storage.
+  ResultCache cache(/*capacity=*/1, /*num_shards=*/1);
+  cache.Insert(MakeKey(1), MakeResult(11));
+  std::shared_ptr<const core::TopKResult> held = cache.Lookup(MakeKey(1));
+  ASSERT_NE(held, nullptr);
+  cache.Insert(MakeKey(2), MakeResult(22));  // evicts key 1
+  EXPECT_EQ(cache.Lookup(MakeKey(1)), nullptr);
+  EXPECT_EQ(held->entries[0].node, 11u);  // still readable
+}
+
+TEST(ResultCacheTest, CapacityBoundsHoldAcrossShards) {
+  ResultCache cache(/*capacity=*/8, /*num_shards=*/4);
+  for (NodeId v = 0; v < 100; ++v) {
+    cache.Insert(MakeKey(v), MakeResult(v));
+  }
+  // Capacity splits as ceil(8/4) = 2 per shard; the resident total can
+  // never exceed shards * per-shard = 8.
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.stats().insertions, 100u);
+  EXPECT_GE(cache.stats().evictions, 92u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedUseKeepsCountersConsistent) {
+  ResultCache cache(64, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        NodeId v = static_cast<NodeId>((t * 31 + i) % 97);
+        if (i % 2 == 0) {
+          cache.Insert(MakeKey(v), MakeResult(v));
+        } else {
+          std::shared_ptr<const core::TopKResult> out =
+              cache.Lookup(MakeKey(v));
+          if (out != nullptr) {
+            // A hit must return the value inserted for that key.
+            EXPECT_EQ(out->entries[0].node, v);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kOpsPerThread / 2));
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace rtr::serve

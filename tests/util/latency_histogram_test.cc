@@ -1,0 +1,104 @@
+#include "util/latency_histogram.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rtr {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.MeanMillis(), 0.0);
+  EXPECT_EQ(h.MaxMillis(), 0.0);
+  EXPECT_EQ(h.P50(), 0.0);
+  EXPECT_EQ(h.P99(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(10.0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.MeanMillis(), 10.0);
+  EXPECT_NEAR(h.MaxMillis(), 10.0, 1e-6);
+  // Every percentile of a single sample is that sample, up to one bucket of
+  // overestimate (the documented kGrowth bound), and never beyond the max.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(h.Percentile(q), 10.0 * 0.999);
+    EXPECT_LE(h.Percentile(q), 10.0 * LatencyHistogram::kGrowth);
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileMathOnUniformSamples) {
+  LatencyHistogram h;
+  for (int ms = 1; ms <= 100; ++ms) h.Record(static_cast<double>(ms));
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.MeanMillis(), 50.5);
+  EXPECT_NEAR(h.MaxMillis(), 100.0, 1e-6);
+  // The q-quantile of {1..100} is sample ceil(100q); the estimate may
+  // overshoot by at most the bucket growth factor.
+  struct { double q, truth; } cases[] = {{0.50, 50.0}, {0.95, 95.0},
+                                         {0.99, 99.0}};
+  for (const auto& c : cases) {
+    double estimate = h.Percentile(c.q);
+    EXPECT_GE(estimate, c.truth) << "q=" << c.q;
+    EXPECT_LE(estimate, c.truth * LatencyHistogram::kGrowth * 1.001)
+        << "q=" << c.q;
+  }
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+}
+
+TEST(LatencyHistogramTest, NegativeAndZeroSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.MaxMillis(), 0.0);
+  // The percentile is capped by the largest recorded value.
+  EXPECT_EQ(h.P99(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ExtremeSamplesLandInEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(1e-9);  // below the first bucket
+  h.Record(1e9);   // ~11.5 days, beyond the last bucket edge
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_NEAR(h.MaxMillis(), 1e9, 1e3);
+  // P99 falls in the open-ended last bucket and is capped at the max.
+  EXPECT_DOUBLE_EQ(h.P99(), h.MaxMillis());
+}
+
+TEST(LatencyHistogramTest, BucketEdgesAreGeometric) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketLowerEdge(0),
+                   LatencyHistogram::kMinMillis);
+  for (size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_NEAR(LatencyHistogram::BucketLowerEdge(i + 1) /
+                    LatencyHistogram::BucketLowerEdge(i),
+                LatencyHistogram::kGrowth, 1e-9);
+  }
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1.0 + static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  // Mean of equally many 1s, 2s, 3s, 4s.
+  EXPECT_NEAR(h.MeanMillis(), 2.5, 1e-9);
+  EXPECT_NEAR(h.MaxMillis(), 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rtr

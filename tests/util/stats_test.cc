@@ -13,6 +13,27 @@ TEST(SummarizeTest, EmptySample) {
   EXPECT_EQ(s.n, 0u);
   EXPECT_EQ(s.mean, 0.0);
   EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTest, AllEqualSampleHasZeroSpread) {
+  SummaryStats s = Summarize({3.5, 3.5, 3.5, 3.5});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.ConfidenceHalfWidth(0.99), 0.0);
+}
+
+TEST(SummarizeTest, SingleNegativeValue) {
+  SummaryStats s = Summarize({-2.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, -2.0);
+  EXPECT_DOUBLE_EQ(s.min, -2.0);
+  EXPECT_DOUBLE_EQ(s.max, -2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
 }
 
 TEST(SummarizeTest, SingleValue) {

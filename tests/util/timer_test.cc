@@ -1,0 +1,52 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace rtr {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  double first = timer.ElapsedSeconds();
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(WallTimerTest, UnitsAreConsistent) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Reads happen at increasing instants, so each coarser-unit reading
+  // bounds the finer ones taken before it.
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  double micros = timer.ElapsedMicros();
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_GE(micros, millis * 1e3);
+}
+
+TEST(WallTimerTest, MeasuresSleepsAtLeastApproximately) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // steady_clock may not tick during the whole sleep on a loaded machine,
+  // but it can never report less than ~the requested duration.
+  EXPECT_GE(timer.ElapsedMillis(), 19.0);
+}
+
+TEST(WallTimerTest, RestartResetsTheOrigin) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  double before = timer.ElapsedMillis();
+  timer.Restart();
+  double after = timer.ElapsedMillis();
+  EXPECT_GE(before, 90.0);
+  // Only extreme (>90 ms) scheduling delay between Restart and the read
+  // could break this; generous enough for CI.
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace rtr

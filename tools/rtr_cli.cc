@@ -6,25 +6,41 @@
 //                [--beta 0.5] [--k 10] [--type venue]
 //   rtr topk     --graph graph.txt --query 5 [--k 10] [--eps 0.01]
 //                [--scheme 2sbound|gupta|sarkar|g+s|naive]
+//   rtr serve    [--graph graph.txt] [--queries 200] [--qps 200]
+//                [--workers 4] [--queue 256] [--cache 1] [--cache-capacity
+//                1024] [--backend local|dist] [--gps 4] [--k 10]
+//                [--eps 0.01] [--slo-ms 50] [--repeat 0.5] [--seed 7]
 //
 // Graphs use the text format of graph/io.h; `generate` emits the synthetic
-// datasets used by the benchmark suite.
+// datasets used by the benchmark suite. `serve` replays a synthetic QLog
+// query stream (or random queries on a loaded graph) at a target QPS
+// through the concurrent serve::QueryService and reports throughput, tail
+// latency, and cache behavior.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/round_trip_rank.h"
 #include "core/twosbound.h"
 #include "datasets/bibnet.h"
 #include "datasets/qlog.h"
+#include "dist/distributed_topk.h"
 #include "eval/experiment.h"
 #include "graph/io.h"
 #include "ranking/combinators.h"
 #include "ranking/pagerank.h"
+#include "serve/query_service.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace {
@@ -36,9 +52,13 @@ using rtr::NodeId;
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; i += 2) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' is missing a value\n", argv[i]);
         std::exit(2);
       }
       values_[argv[i] + 2] = argv[i + 1];
@@ -261,18 +281,172 @@ int CmdTopK(const Flags& flags) {
   return 0;
 }
 
-void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: rtr <generate|info|rank|topk> [--flag value ...]\n"
+// Replays a synthetic query stream at a target QPS through the concurrent
+// serve::QueryService and prints throughput / tail-latency / cache figures.
+int CmdServe(const Flags& flags) {
+  // The served graph: an explicit --graph file, or the synthetic QLog
+  // (whose phrase nodes make a natural query stream). The QLog stays alive
+  // so its graph is referenced, not copied.
+  Graph loaded_graph;
+  std::unique_ptr<rtr::datasets::QLog> qlog;
+  const Graph* graph = nullptr;
+  std::vector<NodeId> query_pool_source;  // candidate query nodes
+  if (flags.Has("graph")) {
+    loaded_graph = LoadGraphOrDie(flags);
+    graph = &loaded_graph;
+  } else {
+    rtr::datasets::QLogConfig config;
+    uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+    if (seed != 0) config.seed = seed;
+    auto generated = rtr::datasets::QLog::Generate(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    qlog = std::make_unique<rtr::datasets::QLog>(
+        std::move(generated).value());
+    graph = &qlog->graph();
+    query_pool_source = graph->NodesOfType(qlog->phrase_type());
+  }
+
+  int num_queries = flags.GetInt("queries", 200);
+  double target_qps = flags.GetDouble("qps", 200.0);
+  if (num_queries <= 0 || target_qps <= 0.0) {
+    std::fprintf(stderr, "--queries and --qps must be positive\n");
+    return 2;
+  }
+  double repeat = flags.GetDouble("repeat", 0.5);
+  if (!(repeat >= 0.0 && repeat <= 1.0)) {
+    std::fprintf(stderr, "--repeat must be a fraction in [0, 1]\n");
+    return 2;
+  }
+
+  rtr::serve::ServiceOptions options;
+  options.num_workers = flags.GetInt("workers", 4);
+  int queue_capacity = flags.GetInt("queue", 256);
+  int num_gps = flags.GetInt("gps", 4);
+  int cache_capacity = flags.GetInt("cache-capacity", 1024);
+  if (options.num_workers < 1 || queue_capacity < 1 || num_gps < 1 ||
+      cache_capacity < 1) {
+    std::fprintf(stderr,
+                 "--workers, --queue, --gps and --cache-capacity must be "
+                 ">= 1\n");
+    return 2;
+  }
+  options.queue_capacity = static_cast<size_t>(queue_capacity);
+  options.enable_cache = flags.GetInt("cache", 1) != 0;
+  options.cache_capacity = static_cast<size_t>(cache_capacity);
+  options.slo_millis = flags.GetDouble("slo-ms", 50.0);
+
+  rtr::core::TopKParams params;
+  params.k = flags.GetInt("k", 10);
+  params.epsilon = flags.GetDouble("eps", 0.01);
+
+  // Unique query pool: ~ (1 - repeat) of the stream; uniform draws from the
+  // pool then yield roughly the requested repeat fraction.
+  rtr::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  int pool_size = std::max(1, static_cast<int>(num_queries *
+                                               (1.0 - repeat)));
+  std::vector<NodeId> pool;
+  for (int i = 0; i < pool_size; ++i) {
+    NodeId q = query_pool_source.empty()
+                   ? rtr::bench::SampleQueryNode(*graph, rng)
+                   : rtr::bench::SampleQueryNode(*graph, query_pool_source,
+                                                 rng);
+    if (q == rtr::kInvalidNode) {
+      std::fprintf(stderr, "could not sample query nodes with out-arcs\n");
+      return 1;
+    }
+    pool.push_back(q);
+  }
+
+  std::string backend = flags.GetString("backend", "local");
+  std::unique_ptr<rtr::dist::Cluster> cluster;
+  std::unique_ptr<rtr::serve::QueryService> service;
+  if (backend == "local") {
+    service = std::make_unique<rtr::serve::QueryService>(*graph, options);
+  } else if (backend == "dist") {
+    cluster = std::make_unique<rtr::dist::Cluster>(*graph, num_gps);
+    service = std::make_unique<rtr::serve::QueryService>(*cluster, options);
+  } else {
+    std::fprintf(stderr, "unknown backend '%s' (local|dist)\n",
+                 backend.c_str());
+    return 2;
+  }
+
+  std::printf("serving %zu-node graph: %d queries at %.0f QPS, %d workers, "
+              "queue %zu, cache %s, backend %s\n",
+              graph->num_nodes(), num_queries, target_qps,
+              options.num_workers, options.queue_capacity,
+              options.enable_cache ? "on" : "off", backend.c_str());
+
+  rtr::Status status = service->Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<int> done_count{0};
+  auto interval = std::chrono::duration<double>(1.0 / target_qps);
+  auto start = std::chrono::steady_clock::now();
+  int accepted = 0;
+  for (int i = 0; i < num_queries; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * i));
+    NodeId q = pool[static_cast<size_t>(rng.NextUint64(pool.size()))];
+    rtr::Status submitted = service->SubmitAsync(
+        {{q}, params}, [&done_count](const rtr::serve::ServeResponse&) {
+          done_count.fetch_add(1);
+        });
+    if (submitted.ok()) ++accepted;
+  }
+  service->Shutdown();  // drains everything admitted
+
+  rtr::serve::ServiceStats stats = service->stats();
+  std::printf("\n  accepted %llu  rejected %llu (load shed)  failed %llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("  achieved QPS %.1f (target %.0f)\n", stats.qps, target_qps);
+  std::printf("  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+              stats.p50_millis, stats.p95_millis, stats.p99_millis,
+              service->latencies().MaxMillis());
+  uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  std::printf("  cache: %llu hits / %llu lookups (%.1f%%), %llu evictions\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(lookups),
+              lookups == 0 ? 0.0 : 100.0 * stats.cache_hits / lookups,
+              static_cast<unsigned long long>(stats.cache_evictions));
+  std::printf("  SLO (%.1f ms): %llu violations / %llu completed\n",
+              options.slo_millis,
+              static_cast<unsigned long long>(stats.slo_violations),
+              static_cast<unsigned long long>(stats.completed));
+  return done_count.load() == accepted ? 0 : 1;
+}
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: rtr <generate|info|rank|topk|serve> [--flag value "
+               "...]\n"
                "see the header of tools/rtr_cli.cc for details\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    PrintUsage();
-    return 2;
+  // --help anywhere (including `rtr <command> --help`) wins before the
+  // strict --flag/value parser sees it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+  }
+  if (argc < 2 || std::strcmp(argv[1], "help") == 0) {
+    PrintUsage(stdout);
+    return 0;
   }
   Flags flags(argc, argv, 2);
   std::string command = argv[1];
@@ -280,6 +454,7 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "rank") return CmdRank(flags);
   if (command == "topk") return CmdTopK(flags);
-  PrintUsage();
+  if (command == "serve") return CmdServe(flags);
+  PrintUsage(stderr);
   return 2;
 }
