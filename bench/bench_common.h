@@ -13,12 +13,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datasets/bibnet.h"
 #include "datasets/qlog.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "graph/types.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -61,6 +64,28 @@ inline datasets::QLog MakeFullQLog() {
   config.num_concepts = EnvInt("RTR_SCALE_CONCEPTS", 12000);
   config.num_portal_urls = 80;
   return datasets::QLog::Generate(config).value();
+}
+
+// Shared load-or-build for benches that only need a bare Graph: returns
+// `build()` unless RTR_SNAPSHOT_DIR is set, in which case the graph is
+// cached as "<dir>/<name>.rtrsnap" — built and snapshotted on the first
+// run, then restored by the binary snapshot loader (one bulk read, no
+// generator/GraphBuilder replay) on every later run. The cache key is the
+// caller's responsibility: fold every scale knob into `name`.
+inline Graph LoadOrBuildGraph(const std::string& name,
+                              const std::function<Graph()>& build) {
+  const char* dir = std::getenv("RTR_SNAPSHOT_DIR");
+  if (dir == nullptr || *dir == '\0') return build();
+  const std::string path = std::string(dir) + "/" + name + ".rtrsnap";
+  StatusOr<Graph> cached = LoadGraphSnapshotFromFile(path);
+  if (cached.ok()) return std::move(cached).value();
+  Graph g = build();
+  Status saved = SaveGraphSnapshotToFile(g, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "warning: cannot cache snapshot %s: %s\n",
+                 path.c_str(), saved.ToString().c_str());
+  }
+  return g;
 }
 
 // Draws random nodes until one with at least one outgoing arc comes up —

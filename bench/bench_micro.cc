@@ -3,6 +3,7 @@
 // Stage-II refinement sweeps, and end-to-end 2SBound.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/bca.h"
 #include "core/two_stage.h"
 #include "core/twosbound.h"
@@ -33,7 +34,10 @@ Graph MakeGraph(size_t n, size_t extra_edges, uint64_t seed) {
 }
 
 const Graph& SharedGraph() {
-  static const Graph* graph = new Graph(MakeGraph(20000, 80000, 7));
+  // Snapshot-cached under RTR_SNAPSHOT_DIR so repeated bench runs skip the
+  // builder (see bench_common.h).
+  static const Graph* graph = new Graph(rtr::bench::LoadOrBuildGraph(
+      "bench_micro_n20000_e80000_s7", [] { return MakeGraph(20000, 80000, 7); }));
   return *graph;
 }
 

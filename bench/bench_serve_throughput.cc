@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -72,9 +73,12 @@ int main() {
   rtr::datasets::BibNetConfig config;
   config.num_papers = rtr::bench::EnvInt("RTR_SERVE_PAPERS", 4000);
   config.num_authors = config.num_papers / 4;
-  rtr::datasets::BibNet bibnet =
-      rtr::datasets::BibNet::Generate(config).value();
-  const Graph& graph = bibnet.graph();
+  // Only the bare graph is served, so it is snapshot-cacheable under
+  // RTR_SNAPSHOT_DIR (see bench_common.h).
+  const Graph graph = rtr::bench::LoadOrBuildGraph(
+      "bench_serve_p" + std::to_string(config.num_papers), [&config] {
+        return rtr::datasets::BibNet::Generate(config).value().graph();
+      });
 
   int num_queries = rtr::bench::EnvInt("RTR_SERVE_QUERIES", 240);
   int num_gps = rtr::bench::EnvInt("RTR_SERVE_GPS", 4);

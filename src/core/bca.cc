@@ -45,9 +45,12 @@ void Bca::Process(NodeId v) {
     in_seen_[v] = true;
     seen_.push_back(v);
   }
+  // Hot loop: streams only the (target, prob) columns.
   double spread = (1.0 - alpha_) * residual;
-  for (const OutArc& arc : graph_.out_arcs(v)) {
-    AddResidual(arc.target, spread * arc.prob);
+  auto targets = graph_.out_targets(v);
+  auto probs = graph_.out_probs(v);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    AddResidual(targets[i], spread * probs[i]);
   }
 }
 

@@ -62,8 +62,10 @@ std::vector<double> StepForward(const Graph& g,
                                 const std::vector<double>& dist) {
   std::vector<double> next(dist.size(), 0.0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const InArc& arc : g.in_arcs(v)) {
-      next[v] += arc.prob * dist[arc.source];
+    auto sources = g.in_sources(v);
+    auto probs = g.in_probs(v);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      next[v] += probs[i] * dist[sources[i]];
     }
   }
   return next;
@@ -75,8 +77,10 @@ std::vector<double> StepBackward(const Graph& g,
                                  const std::vector<double>& prob) {
   std::vector<double> next(prob.size(), 0.0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const OutArc& arc : g.out_arcs(v)) {
-      next[v] += arc.prob * prob[arc.target];
+    auto targets = g.out_targets(v);
+    auto probs = g.out_probs(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      next[v] += probs[i] * prob[targets[i]];
     }
   }
   return next;
@@ -134,22 +138,13 @@ std::vector<double> SimulateRoundTripRank(const Graph& g, NodeId q,
     NodeId target = kInvalidNode;
     bool dead = false;
     for (int step = 0; step < len_out + len_back; ++step) {
-      auto arcs = g.out_arcs(current);
-      if (arcs.empty()) {
+      // Degree check before the draw keeps the RNG stream identical to the
+      // pre-SoA walker (dangling nodes never consumed a draw).
+      if (g.out_degree(current) == 0) {
         dead = true;
         break;
       }
-      double u = rng.NextDouble();
-      double acc = 0.0;
-      NodeId next = arcs.back().target;
-      for (const OutArc& arc : arcs) {
-        acc += arc.prob;
-        if (u < acc) {
-          next = arc.target;
-          break;
-        }
-      }
-      current = next;
+      current = g.SampleOutNeighbor(current, rng.NextDouble());
       if (step + 1 == len_out) target = current;
     }
     if (dead || current != q) continue;

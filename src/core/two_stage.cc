@@ -79,12 +79,14 @@ void FRankBounder::RefineStage2() {
     for (NodeId v : nodes) {
       double lo_sum = 0.0;
       double up_sum = 0.0;
-      for (const InArc& arc : graph_.in_arcs(v)) {
-        if (IsSeen(arc.source)) {
-          lo_sum += arc.prob * lower_[arc.source];
-          up_sum += arc.prob * upper_[arc.source];
+      auto sources = graph_.in_sources(v);
+      auto probs = graph_.in_probs(v);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        if (IsSeen(sources[i])) {
+          lo_sum += probs[i] * lower_[sources[i]];
+          up_sum += probs[i] * upper_[sources[i]];
         } else {
-          up_sum += arc.prob * unseen_upper_;
+          up_sum += probs[i] * unseen_upper_;
         }
       }
       double lo = teleport_[v] + one_minus_alpha * lo_sum;
@@ -128,8 +130,8 @@ TRankBounder::TRankBounder(const Graph& g, const Query& query,
   }
   for (NodeId q : seen_) {
     int outside = 0;
-    for (const InArc& arc : graph_.in_arcs(q)) {
-      if (!in_seen_[arc.source]) ++outside;
+    for (NodeId source : graph_.in_sources(q)) {
+      if (!in_seen_[source]) ++outside;
     }
     unseen_in_count_[q] = outside;
     if (outside > 0) {
@@ -176,18 +178,18 @@ bool TRankBounder::Expand() {
   std::vector<NodeId> fresh;
   std::unordered_set<NodeId> pending;
   for (NodeId b : picked) {
-    for (const InArc& arc : graph_.in_arcs(b)) {
-      if (!in_seen_[arc.source] && pending.insert(arc.source).second) {
-        fresh.push_back(arc.source);
+    for (NodeId source : graph_.in_sources(b)) {
+      if (!in_seen_[source] && pending.insert(source).second) {
+        fresh.push_back(source);
       }
     }
   }
   // Decrement the unseen-in counters of previously seen nodes that gain a
   // newly seen in-neighbor.
   for (NodeId u : fresh) {
-    for (const OutArc& arc : graph_.out_arcs(u)) {
-      if (in_seen_[arc.target]) {
-        if (--unseen_in_count_[arc.target] == 0) --border_count_;
+    for (NodeId target : graph_.out_targets(u)) {
+      if (in_seen_[target]) {
+        if (--unseen_in_count_[target] == 0) --border_count_;
       }
     }
   }
@@ -195,8 +197,8 @@ bool TRankBounder::Expand() {
   for (NodeId u : fresh) AddNode(u, upper_init);
   for (NodeId u : fresh) {
     int outside = 0;
-    for (const InArc& arc : graph_.in_arcs(u)) {
-      if (!in_seen_[arc.source]) ++outside;
+    for (NodeId source : graph_.in_sources(u)) {
+      if (!in_seen_[source]) ++outside;
     }
     unseen_in_count_[u] = outside;
     if (outside > 0) {
@@ -219,12 +221,14 @@ void TRankBounder::RefineSweeps(int sweeps) {
     for (NodeId v : seen_) {
       double lo_sum = 0.0;
       double up_sum = 0.0;
-      for (const OutArc& arc : graph_.out_arcs(v)) {
-        if (in_seen_[arc.target]) {
-          lo_sum += arc.prob * lower_[arc.target];
-          up_sum += arc.prob * upper_[arc.target];
+      auto targets = graph_.out_targets(v);
+      auto probs = graph_.out_probs(v);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        if (in_seen_[targets[i]]) {
+          lo_sum += probs[i] * lower_[targets[i]];
+          up_sum += probs[i] * upper_[targets[i]];
         } else {
-          up_sum += arc.prob * unseen_upper_;
+          up_sum += probs[i] * unseen_upper_;
         }
       }
       double lo = teleport_[v] + one_minus_alpha * lo_sum;

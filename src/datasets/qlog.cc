@@ -215,9 +215,11 @@ StatusOr<Graph> QLog::BuildGraphWithoutEdges(
     builder.AddNode(graph_.node_type(v));
   }
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    for (const OutArc& arc : graph_.out_arcs(v)) {
-      if (removed_keys.count(ArcKey(v, arc.target))) continue;
-      builder.AddDirectedEdge(v, arc.target, arc.weight);
+    auto targets = graph_.out_targets(v);
+    auto weights = graph_.out_arc_weights(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (removed_keys.count(ArcKey(v, targets[i]))) continue;
+      builder.AddDirectedEdge(v, targets[i], weights[i]);
     }
   }
   return builder.Build();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
+#include "graph/snapshot.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -20,18 +22,23 @@ GraphProcessor::GraphProcessor(const Graph& g, int id, int num_gps)
   in_offsets_.reserve(owned_nodes_.size() + 1);
   out_offsets_.push_back(0);
   in_offsets_.push_back(0);
+  auto append = [](auto* column, auto span) {
+    column->insert(column->end(), span.begin(), span.end());
+  };
   for (NodeId v : owned_nodes_) {
-    auto out = g.out_arcs(v);
-    out_arcs_.insert(out_arcs_.end(), out.begin(), out.end());
-    out_offsets_.push_back(out_arcs_.size());
-    auto in = g.in_arcs(v);
-    in_arcs_.insert(in_arcs_.end(), in.begin(), in.end());
-    in_offsets_.push_back(in_arcs_.size());
+    append(&out_targets_, g.out_targets(v));
+    append(&out_weights_, g.out_arc_weights(v));
+    append(&out_probs_, g.out_probs(v));
+    out_offsets_.push_back(out_targets_.size());
+    append(&in_sources_, g.in_sources(v));
+    append(&in_weights_, g.in_arc_weights(v));
+    append(&in_probs_, g.in_probs(v));
+    in_offsets_.push_back(in_sources_.size());
   }
   stored_bytes_ = owned_nodes_.size() * sizeof(NodeId) +
                   (out_offsets_.size() + in_offsets_.size()) * sizeof(size_t) +
-                  out_arcs_.size() * sizeof(OutArc) +
-                  in_arcs_.size() * sizeof(InArc);
+                  (out_targets_.size() + in_sources_.size()) *
+                      (sizeof(NodeId) + 2 * sizeof(double));
 }
 
 Status GraphProcessor::Fetch(const std::vector<NodeId>& nodes,
@@ -53,10 +60,18 @@ Status GraphProcessor::Fetch(const std::vector<NodeId>& nodes,
     }
     NodeRecord record;
     record.node = v;
-    record.out_arcs.assign(out_arcs_.begin() + out_offsets_[i],
-                           out_arcs_.begin() + out_offsets_[i + 1]);
-    record.in_arcs.assign(in_arcs_.begin() + in_offsets_[i],
-                          in_arcs_.begin() + in_offsets_[i + 1]);
+    record.out_targets.assign(out_targets_.begin() + out_offsets_[i],
+                              out_targets_.begin() + out_offsets_[i + 1]);
+    record.out_weights.assign(out_weights_.begin() + out_offsets_[i],
+                              out_weights_.begin() + out_offsets_[i + 1]);
+    record.out_probs.assign(out_probs_.begin() + out_offsets_[i],
+                            out_probs_.begin() + out_offsets_[i + 1]);
+    record.in_sources.assign(in_sources_.begin() + in_offsets_[i],
+                             in_sources_.begin() + in_offsets_[i + 1]);
+    record.in_weights.assign(in_weights_.begin() + in_offsets_[i],
+                             in_weights_.begin() + in_offsets_[i + 1]);
+    record.in_probs.assign(in_probs_.begin() + in_offsets_[i],
+                           in_probs_.begin() + in_offsets_[i + 1]);
     out->push_back(std::move(record));
   }
   return Status::OK();
@@ -71,25 +86,30 @@ Cluster::Cluster(const Graph& g, int num_gps) : graph_(&g) {
   }
 }
 
+StatusOr<std::unique_ptr<Cluster>> Cluster::FromGraphFile(
+    const std::string& path, int num_gps) {
+  StatusOr<Graph> loaded = LoadGraphAuto(path);
+  RTR_RETURN_IF_ERROR(loaded.status());
+  auto graph = std::make_unique<const Graph>(std::move(loaded).value());
+  auto cluster = std::make_unique<Cluster>(*graph, num_gps);
+  cluster->owned_graph_ = std::move(graph);
+  return cluster;
+}
+
 namespace {
 
 // Cross-checks one GP response record against the AP-side graph; any
 // divergence means the shard storage or the fetch path is corrupt.
 Status ValidateRecord(const Graph& g, const NodeRecord& record) {
-  auto out = g.out_arcs(record.node);
-  auto in = g.in_arcs(record.node);
-  bool ok = record.out_arcs.size() == out.size() &&
-            record.in_arcs.size() == in.size();
-  for (size_t i = 0; ok && i < out.size(); ++i) {
-    ok = record.out_arcs[i].target == out[i].target &&
-         record.out_arcs[i].weight == out[i].weight &&
-         record.out_arcs[i].prob == out[i].prob;
-  }
-  for (size_t i = 0; ok && i < in.size(); ++i) {
-    ok = record.in_arcs[i].source == in[i].source &&
-         record.in_arcs[i].weight == in[i].weight &&
-         record.in_arcs[i].prob == in[i].prob;
-  }
+  auto equal = [](const auto& got, auto want) {
+    return std::equal(got.begin(), got.end(), want.begin(), want.end());
+  };
+  bool ok = equal(record.out_targets, g.out_targets(record.node)) &&
+            equal(record.out_weights, g.out_arc_weights(record.node)) &&
+            equal(record.out_probs, g.out_probs(record.node)) &&
+            equal(record.in_sources, g.in_sources(record.node)) &&
+            equal(record.in_weights, g.in_arc_weights(record.node)) &&
+            equal(record.in_probs, g.in_probs(record.node));
   if (!ok) {
     return Status::Internal("GP record for node " +
                             std::to_string(record.node) +

@@ -16,6 +16,8 @@
 // byte/request counts are measured from those responses, not estimated.
 
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/twosbound.h"
@@ -26,17 +28,26 @@
 namespace rtr::dist {
 
 // One node's shard record as served by a GP: the node id plus copies of its
-// incident arcs (the unit of transfer of Sect. V-B2).
+// incident arc columns (the unit of transfer of Sect. V-B2). Columnar like
+// the Graph itself: entries at one index across a direction's vectors
+// describe the same arc.
 struct NodeRecord {
   NodeId node = kInvalidNode;
-  std::vector<OutArc> out_arcs;
-  std::vector<InArc> in_arcs;
+  std::vector<NodeId> out_targets;
+  std::vector<double> out_weights;
+  std::vector<double> out_probs;
+  std::vector<NodeId> in_sources;
+  std::vector<double> in_weights;
+  std::vector<double> in_probs;
+
+  size_t num_out_arcs() const { return out_targets.size(); }
+  size_t num_in_arcs() const { return in_sources.size(); }
 
   // Wire size of this record, in the same units as the local active-set
   // accounting so local and distributed byte counts agree.
   size_t WireBytes() const {
     return core::kActiveNodeRecordBytes +
-           (out_arcs.size() + in_arcs.size()) * core::kActiveArcRecordBytes;
+           (num_out_arcs() + num_in_arcs()) * core::kActiveArcRecordBytes;
   }
 };
 
@@ -70,10 +81,16 @@ class GraphProcessor {
   int id_ = 0;
   int num_gps_ = 1;
   std::vector<NodeId> owned_nodes_;       // ascending
+  // Stripe-local columnar CSR, mirroring the Graph layout (one offsets
+  // array + three parallel columns per direction).
   std::vector<size_t> out_offsets_;       // size owned_nodes_.size()+1
-  std::vector<OutArc> out_arcs_;
+  std::vector<NodeId> out_targets_;
+  std::vector<double> out_weights_;
+  std::vector<double> out_probs_;
   std::vector<size_t> in_offsets_;        // size owned_nodes_.size()+1
-  std::vector<InArc> in_arcs_;
+  std::vector<NodeId> in_sources_;
+  std::vector<double> in_weights_;
+  std::vector<double> in_probs_;
   size_t stored_bytes_ = 0;
 };
 
@@ -86,6 +103,12 @@ class Cluster {
   // Requires num_gps >= 1 (CHECK-enforced).
   Cluster(const Graph& g, int num_gps);
 
+  // Shard bring-up from a saved graph: loads `path` (binary snapshot or
+  // text, auto-detected by magic — see graph/snapshot.h), takes ownership
+  // of the loaded graph, and stripes it across num_gps processors.
+  static StatusOr<std::unique_ptr<Cluster>> FromGraphFile(
+      const std::string& path, int num_gps);
+
   int num_gps() const { return static_cast<int>(gps_.size()); }
   const std::vector<GraphProcessor>& gps() const { return gps_; }
   const Graph& graph() const { return *graph_; }
@@ -97,7 +120,10 @@ class Cluster {
   size_t total_stored_bytes() const { return total_stored_bytes_; }
 
  private:
-  const Graph* graph_;  // not owned; must outlive the cluster
+  const Graph* graph_;  // must outlive the cluster unless owned below
+  // Set only by FromGraphFile: keeps a snapshot-loaded graph alive for the
+  // cluster's lifetime (graph_ points at it).
+  std::unique_ptr<const Graph> owned_graph_;
   std::vector<GraphProcessor> gps_;
   size_t total_stored_bytes_ = 0;
 };

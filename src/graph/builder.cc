@@ -73,7 +73,7 @@ StatusOr<Graph> GraphBuilder::Build() const {
   g.node_types_ = node_types_;
   g.type_names_ = type_names_;
 
-  // Out-CSR with transition probabilities.
+  // Out-CSR columns with transition probabilities.
   g.out_offsets_.assign(n + 1, 0);
   for (const StagedArc& arc : merged) g.out_offsets_[arc.source + 1]++;
   std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
@@ -81,27 +81,35 @@ StatusOr<Graph> GraphBuilder::Build() const {
   g.out_weights_.assign(n, 0.0);
   for (const StagedArc& arc : merged) g.out_weights_[arc.source] += arc.weight;
 
-  g.out_arcs_.resize(merged.size());
+  g.out_targets_.resize(merged.size());
+  g.out_arc_weights_.resize(merged.size());
+  g.out_probs_.resize(merged.size());
   {
     std::vector<size_t> cursor(g.out_offsets_.begin(),
                                g.out_offsets_.end() - 1);
     for (const StagedArc& arc : merged) {
-      double prob = arc.weight / g.out_weights_[arc.source];
-      g.out_arcs_[cursor[arc.source]++] = {arc.target, arc.weight, prob};
+      size_t slot = cursor[arc.source]++;
+      g.out_targets_[slot] = arc.target;
+      g.out_arc_weights_[slot] = arc.weight;
+      g.out_probs_[slot] = arc.weight / g.out_weights_[arc.source];
     }
   }
 
-  // In-CSR mirroring the same probabilities.
+  // In-CSR columns mirroring the same probabilities.
   g.in_offsets_.assign(n + 1, 0);
   for (const StagedArc& arc : merged) g.in_offsets_[arc.target + 1]++;
   std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
                    g.in_offsets_.begin());
-  g.in_arcs_.resize(merged.size());
+  g.in_sources_.resize(merged.size());
+  g.in_arc_weights_.resize(merged.size());
+  g.in_probs_.resize(merged.size());
   {
     std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
     for (const StagedArc& arc : merged) {
-      double prob = arc.weight / g.out_weights_[arc.source];
-      g.in_arcs_[cursor[arc.target]++] = {arc.source, arc.weight, prob};
+      size_t slot = cursor[arc.target]++;
+      g.in_sources_[slot] = arc.source;
+      g.in_arc_weights_[slot] = arc.weight;
+      g.in_probs_[slot] = arc.weight / g.out_weights_[arc.source];
     }
   }
 

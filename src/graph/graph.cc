@@ -5,8 +5,11 @@
 namespace rtr {
 
 double Graph::TransitionProb(NodeId u, NodeId v) const {
-  for (const OutArc& arc : out_arcs(u)) {
-    if (arc.target == v) return arc.prob;
+  DCHECK_LT(u, num_nodes());
+  const size_t begin = out_offsets_[u];
+  const size_t end = out_offsets_[u + 1];
+  for (size_t i = begin; i < end; ++i) {
+    if (out_targets_[i] == v) return out_probs_[i];
   }
   return 0.0;
 }
@@ -24,8 +27,8 @@ Graph UniformWeightCopy(const Graph& g) {
   for (const std::string& name : g.type_names()) builder.AddNodeType(name);
   for (NodeId v = 0; v < g.num_nodes(); ++v) builder.AddNode(g.node_type(v));
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const OutArc& arc : g.out_arcs(v)) {
-      builder.AddDirectedEdge(v, arc.target, 1.0);
+    for (NodeId target : g.out_targets(v)) {
+      builder.AddDirectedEdge(v, target, 1.0);
     }
   }
   return builder.Build().value();
@@ -34,11 +37,11 @@ Graph UniformWeightCopy(const Graph& g) {
 size_t Graph::MemoryBytes() const {
   size_t bytes = 0;
   bytes += node_types_.size() * sizeof(NodeTypeId);
-  bytes += out_offsets_.size() * sizeof(size_t);
-  bytes += out_arcs_.size() * sizeof(OutArc);
+  bytes += (out_offsets_.size() + in_offsets_.size()) * sizeof(size_t);
+  bytes += (out_targets_.size() + in_sources_.size()) * sizeof(NodeId);
+  bytes += (out_arc_weights_.size() + in_arc_weights_.size()) * sizeof(double);
+  bytes += (out_probs_.size() + in_probs_.size()) * sizeof(double);
   bytes += out_weights_.size() * sizeof(double);
-  bytes += in_offsets_.size() * sizeof(size_t);
-  bytes += in_arcs_.size() * sizeof(InArc);
   return bytes;
 }
 

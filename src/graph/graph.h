@@ -11,8 +11,9 @@
 
 namespace rtr {
 
-// Immutable directed weighted graph in CSR form, with both out- and
-// in-adjacency and precomputed row-stochastic transition probabilities.
+// Immutable directed weighted graph in columnar (structure-of-arrays) CSR
+// form, with both out- and in-adjacency and precomputed row-stochastic
+// transition probabilities.
 //
 // Random-walk semantics (Sect. III of the paper): from node v the surfer
 // moves to out-neighbor u with probability M[v][u] = w(v,u) / sum_u' w(v,u').
@@ -20,10 +21,19 @@ namespace rtr {
 // out-arcs are "dangling": the walk terminates there (no mass redistributed),
 // matching the iterative formulations in Eqs. 5 and 8.
 //
-// Construct via GraphBuilder::Build().
+// Storage layout: each adjacency direction is three parallel columns —
+// endpoint ids (u32), raw weights (f64), transition probabilities (f64) —
+// indexed by one offsets array. The online 2SBound phase is memory-bandwidth
+// bound, and its hot loops only read (endpoint, prob); splitting the columns
+// keeps the weight column out of the cache on those paths (12 bytes per arc
+// streamed instead of the 24-byte arc records of the old AoS layout). The
+// frozen columns are also exactly what the binary snapshot format
+// (graph/snapshot.h) writes and reads verbatim.
 //
-// Thread safety: a Graph never mutates after Build(), and every member
-// function is const and touches only the frozen CSR arrays. Any number of
+// Construct via GraphBuilder::Build() or LoadGraphSnapshot().
+//
+// Thread safety: a Graph never mutates after construction, and every member
+// function is const and touches only the frozen columns. Any number of
 // threads may therefore share one Graph with no synchronization — the
 // contract the serving layer (serve::QueryService) relies on to run one
 // graph under a worker pool.
@@ -38,7 +48,7 @@ class Graph {
 
   size_t num_nodes() const { return node_types_.size(); }
   // Number of directed arcs (an undirected edge counts twice).
-  size_t num_arcs() const { return out_arcs_.size(); }
+  size_t num_arcs() const { return out_targets_.size(); }
 
   NodeTypeId node_type(NodeId v) const {
     DCHECK_LT(v, num_nodes());
@@ -61,21 +71,66 @@ class Graph {
     return in_offsets_[v + 1] - in_offsets_[v];
   }
 
-  std::span<const OutArc> out_arcs(NodeId v) const {
+  // Per-node column spans. Entries at the same index within a node's spans
+  // describe the same arc; out-columns are sorted by target (in-columns by
+  // source) within each node.
+  std::span<const NodeId> out_targets(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {out_arcs_.data() + out_offsets_[v],
-            out_offsets_[v + 1] - out_offsets_[v]};
+    return {out_targets_.data() + out_offsets_[v], out_degree(v)};
   }
-  std::span<const InArc> in_arcs(NodeId v) const {
+  std::span<const double> out_probs(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {in_arcs_.data() + in_offsets_[v],
-            in_offsets_[v + 1] - in_offsets_[v]};
+    return {out_probs_.data() + out_offsets_[v], out_degree(v)};
   }
+  std::span<const double> out_arc_weights(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {out_arc_weights_.data() + out_offsets_[v], out_degree(v)};
+  }
+  std::span<const NodeId> in_sources(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {in_sources_.data() + in_offsets_[v], in_degree(v)};
+  }
+  std::span<const double> in_probs(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {in_probs_.data() + in_offsets_[v], in_degree(v)};
+  }
+  std::span<const double> in_arc_weights(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {in_arc_weights_.data() + in_offsets_[v], in_degree(v)};
+  }
+
+  // Whole-graph column views (snapshot I/O, shard extraction, column-equality
+  // assertions in tests). The offsets arrays have num_nodes()+1 entries.
+  std::span<const size_t> out_offsets() const { return out_offsets_; }
+  std::span<const NodeId> out_targets() const { return out_targets_; }
+  std::span<const double> out_probs() const { return out_probs_; }
+  std::span<const double> out_arc_weights() const { return out_arc_weights_; }
+  std::span<const size_t> in_offsets() const { return in_offsets_; }
+  std::span<const NodeId> in_sources() const { return in_sources_; }
+  std::span<const double> in_probs() const { return in_probs_; }
+  std::span<const double> in_arc_weights() const { return in_arc_weights_; }
 
   // Total outgoing weight of v (0 for dangling nodes).
   double out_weight(NodeId v) const {
     DCHECK_LT(v, num_nodes());
     return out_weights_[v];
+  }
+
+  // Samples an out-neighbor of v by transition probability given one uniform
+  // draw u in [0, 1): walks the cumulative probs and falls back to the last
+  // target under floating-point round-off. Returns kInvalidNode when v is
+  // dangling. The inner loop of every Monte-Carlo walker in the repo.
+  NodeId SampleOutNeighbor(NodeId v, double u) const {
+    DCHECK_LT(v, num_nodes());
+    const size_t begin = out_offsets_[v];
+    const size_t end = out_offsets_[v + 1];
+    if (begin == end) return kInvalidNode;
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      acc += out_probs_[i];
+      if (u < acc) return out_targets_[i];
+    }
+    return out_targets_[end - 1];
   }
 
   // One-step transition probability M[u][v]; 0 if the arc does not exist.
@@ -99,16 +154,23 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  // graph/snapshot.cc: reconstructs the frozen columns from a binary
+  // snapshot without a GraphBuilder replay.
+  friend class SnapshotCodec;
 
   std::vector<NodeTypeId> node_types_;
   std::vector<std::string> type_names_;
 
-  std::vector<size_t> out_offsets_;  // size num_nodes()+1
-  std::vector<OutArc> out_arcs_;
-  std::vector<double> out_weights_;
+  std::vector<size_t> out_offsets_;       // size num_nodes()+1
+  std::vector<NodeId> out_targets_;       // column: arc target
+  std::vector<double> out_arc_weights_;   // column: raw arc weight
+  std::vector<double> out_probs_;         // column: M[source][target]
+  std::vector<double> out_weights_;       // per node: total out weight
 
-  std::vector<size_t> in_offsets_;  // size num_nodes()+1
-  std::vector<InArc> in_arcs_;
+  std::vector<size_t> in_offsets_;        // size num_nodes()+1
+  std::vector<NodeId> in_sources_;        // column: arc source
+  std::vector<double> in_arc_weights_;    // column: raw arc weight
+  std::vector<double> in_probs_;          // column: M[source][this]
 };
 
 // Returns a copy of `g` with every arc's weight replaced by 1 (transition

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "graph/builder.h"
@@ -19,8 +20,10 @@ Status SaveGraphText(const Graph& g, std::ostream& out) {
   out << g.num_arcs() << "\n";
   out.precision(17);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const OutArc& arc : g.out_arcs(v)) {
-      out << v << " " << arc.target << " " << arc.weight << "\n";
+    auto targets = g.out_targets(v);
+    auto weights = g.out_arc_weights(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      out << v << " " << targets[i] << " " << weights[i] << "\n";
     }
   }
   if (!out) return Status::IoError("failed writing graph stream");
@@ -43,6 +46,9 @@ StatusOr<Graph> LoadGraphText(std::istream& in) {
   if (!(in >> num_types) || num_types == 0) {
     return Status::IoError("bad type count");
   }
+  if (num_types > std::numeric_limits<NodeTypeId>::max()) {
+    return Status::IoError("type count overflows NodeTypeId");
+  }
   GraphBuilder builder;
   for (size_t i = 0; i < num_types; ++i) {
     std::string name;
@@ -58,6 +64,10 @@ StatusOr<Graph> LoadGraphText(std::istream& in) {
   }
   size_t num_nodes = 0;
   if (!(in >> num_nodes)) return Status::IoError("bad node count");
+  // NodeId is u32: a node count at or beyond kInvalidNode cannot be indexed.
+  if (num_nodes >= kInvalidNode) {
+    return Status::IoError("node count overflows NodeId");
+  }
   for (size_t i = 0; i < num_nodes; ++i) {
     unsigned type = 0;
     if (!(in >> type) || type >= num_types) {
@@ -70,11 +80,19 @@ StatusOr<Graph> LoadGraphText(std::istream& in) {
   for (size_t i = 0; i < num_arcs; ++i) {
     NodeId u = 0, v = 0;
     double w = 0.0;
+    // A short read here is the arc-count-mismatch case: the header promised
+    // more arcs than the stream carries (truncated input).
     if (!(in >> u >> v >> w)) return Status::IoError("bad arc line");
     if (u >= num_nodes || v >= num_nodes || !(w > 0.0)) {
       return Status::IoError("invalid arc");
     }
     builder.AddDirectedEdge(u, v, w);
+  }
+  // The declared arc count must also exhaust the stream; leftover tokens
+  // mean the header undercounts (or the file was concatenated/corrupted).
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::IoError("trailing garbage after arc list");
   }
   return builder.Build();
 }

@@ -19,7 +19,10 @@ namespace rtr {
 //   <num_arcs>
 //   <source> <target> <weight> x num_arcs
 //
-// Transition probabilities are derived, not stored.
+// Transition probabilities are derived, not stored. The loader rejects
+// malformed input (truncated arc lists, trailing garbage, node counts that
+// overflow NodeId) with Status::IoError. For the fast binary format used in
+// production bring-up, see graph/snapshot.h.
 Status SaveGraphText(const Graph& g, std::ostream& out);
 Status SaveGraphToFile(const Graph& g, const std::string& path);
 

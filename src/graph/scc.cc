@@ -36,9 +36,9 @@ SccResult ComputeScc(const Graph& g) {
         on_stack[v] = true;
       }
       bool descended = false;
-      auto arcs = g.out_arcs(v);
-      while (frame.arc_pos < arcs.size()) {
-        NodeId w = arcs[frame.arc_pos].target;
+      auto targets = g.out_targets(v);
+      while (frame.arc_pos < targets.size()) {
+        NodeId w = targets[frame.arc_pos];
         ++frame.arc_pos;
         if (index[w] == -1) {
           dfs.push_back({w, 0});
@@ -97,8 +97,10 @@ StatusOr<Graph> MakeIrreducible(const Graph& g, double epsilon_weight) {
   for (const std::string& name : g.type_names()) builder.AddNodeType(name);
   for (NodeId v = 0; v < g.num_nodes(); ++v) builder.AddNode(g.node_type(v));
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const OutArc& arc : g.out_arcs(v)) {
-      builder.AddDirectedEdge(v, arc.target, arc.weight);
+    auto targets = g.out_targets(v);
+    auto weights = g.out_arc_weights(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      builder.AddDirectedEdge(v, targets[i], weights[i]);
     }
   }
   for (int c = 0; c < scc.num_components; ++c) {

@@ -1,0 +1,345 @@
+#include "graph/snapshot.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <limits>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/io.h"
+
+namespace rtr {
+namespace {
+
+// The format stores the size_t offset columns verbatim as u64 and writes
+// multi-byte values in native order; rtr targets 64-bit little-endian.
+static_assert(sizeof(size_t) == 8, "rtr-snap 1 assumes 64-bit size_t");
+static_assert(std::endian::native == std::endian::little,
+              "rtr-snap 1 assumes a little-endian host");
+
+constexpr size_t kHeaderBytes = 64;
+// Far above any graph this system serves; keeps the size arithmetic below
+// safely inside 64 bits for arbitrary (hostile) header values.
+constexpr uint64_t kMaxSnapshotArcs = uint64_t{1} << 48;
+
+// FNV-1a over the payload interpreted as 64-bit little-endian words. Every
+// payload section is zero-padded to 8 bytes, so the payload is always a
+// whole number of words; hashing word-wise keeps the integrity pass an
+// order of magnitude cheaper than byte-wise FNV on multi-GB snapshots.
+uint64_t Fnv1a64Words(const char* data, size_t n) {
+  DCHECK_EQ(n % 8, 0u);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, sizeof(word));
+    h ^= word;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr size_t Padded(size_t n) { return (n + 7) & ~size_t{7}; }
+
+void AppendRaw(std::string* buf, const void* data, size_t n) {
+  if (n > 0) buf->append(static_cast<const char*>(data), n);
+}
+
+void AppendPadding(std::string* buf) {
+  buf->append(Padded(buf->size()) - buf->size(), '\0');
+}
+
+template <typename T>
+void AppendU(std::string* buf, T value) {
+  AppendRaw(buf, &value, sizeof(value));
+}
+
+template <typename T>
+void AppendColumn(std::string* buf, const std::vector<T>& column) {
+  AppendRaw(buf, column.data(), column.size() * sizeof(T));
+  AppendPadding(buf);
+}
+
+template <typename T>
+Status ReadColumn(std::string_view buf, size_t* pos, size_t count,
+                  std::vector<T>* out, const char* what) {
+  const size_t bytes = count * sizeof(T);
+  if (bytes > buf.size() || *pos > buf.size() - bytes) {
+    return Status::IoError(std::string("snapshot truncated in ") + what);
+  }
+  out->resize(count);
+  if (bytes > 0) std::memcpy(out->data(), buf.data() + *pos, bytes);
+  *pos += Padded(bytes);
+  return Status::OK();
+}
+
+Status ValidateOffsets(const std::vector<size_t>& offsets, size_t num_arcs,
+                       const char* what) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != num_arcs) {
+    return Status::IoError(std::string(what) + " do not span the arc count");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::IoError(std::string(what) + " are not monotone");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateEndpoints(const std::vector<NodeId>& endpoints,
+                         size_t num_nodes, const char* what) {
+  for (NodeId v : endpoints) {
+    if (v >= num_nodes) {
+      return Status::IoError(std::string(what) + " endpoint out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Friend of Graph: packs and unpacks the frozen columns without a
+// GraphBuilder replay.
+class SnapshotCodec {
+ public:
+  // Everything after the 64-byte header.
+  static std::string SerializePayload(const Graph& g) {
+    std::string payload;
+    payload.reserve(g.MemoryBytes() + 64 * g.type_names().size());
+    for (const std::string& name : g.type_names()) {
+      AppendU<uint32_t>(&payload, static_cast<uint32_t>(name.size()));
+      AppendRaw(&payload, name.data(), name.size());
+    }
+    AppendPadding(&payload);  // type_block_bytes ends 8-aligned
+    AppendColumn(&payload, g.node_types_);
+    AppendColumn(&payload, g.out_offsets_);
+    AppendColumn(&payload, g.out_targets_);
+    AppendColumn(&payload, g.out_arc_weights_);
+    AppendColumn(&payload, g.out_probs_);
+    AppendColumn(&payload, g.out_weights_);
+    AppendColumn(&payload, g.in_offsets_);
+    AppendColumn(&payload, g.in_sources_);
+    AppendColumn(&payload, g.in_arc_weights_);
+    AppendColumn(&payload, g.in_probs_);
+    return payload;
+  }
+
+  static size_t TypeBlockBytes(const Graph& g) {
+    size_t bytes = 0;
+    for (const std::string& name : g.type_names()) {
+      bytes += sizeof(uint32_t) + name.size();
+    }
+    return Padded(bytes);
+  }
+
+  static StatusOr<Graph> Deserialize(uint64_t num_types, uint64_t num_nodes,
+                                     uint64_t num_arcs,
+                                     uint64_t type_block_bytes,
+                                     std::string_view payload) {
+    Graph g;
+
+    // Type-name block (length-prefixed strings, zero-padded to 8 bytes).
+    if (type_block_bytes > payload.size()) {
+      return Status::IoError("snapshot truncated in type names");
+    }
+    size_t pos = 0;
+    g.type_names_.reserve(num_types);
+    for (uint64_t t = 0; t < num_types; ++t) {
+      uint32_t len = 0;
+      if (pos + sizeof(len) > type_block_bytes) {
+        return Status::IoError("snapshot type-name block truncated");
+      }
+      std::memcpy(&len, payload.data() + pos, sizeof(len));
+      pos += sizeof(len);
+      if (len > type_block_bytes - pos) {
+        return Status::IoError("snapshot type name overruns its block");
+      }
+      g.type_names_.emplace_back(payload.data() + pos, len);
+      pos += len;
+    }
+    if (type_block_bytes - pos >= 8) {
+      return Status::IoError("snapshot type-name block has slack");
+    }
+    pos = type_block_bytes;
+
+    RTR_RETURN_IF_ERROR(
+        ReadColumn(payload, &pos, num_nodes, &g.node_types_, "node types"));
+    RTR_RETURN_IF_ERROR(ReadColumn(payload, &pos, num_nodes + 1,
+                                   &g.out_offsets_, "out offsets"));
+    RTR_RETURN_IF_ERROR(
+        ReadColumn(payload, &pos, num_arcs, &g.out_targets_, "out targets"));
+    RTR_RETURN_IF_ERROR(ReadColumn(payload, &pos, num_arcs,
+                                   &g.out_arc_weights_, "out weights"));
+    RTR_RETURN_IF_ERROR(
+        ReadColumn(payload, &pos, num_arcs, &g.out_probs_, "out probs"));
+    RTR_RETURN_IF_ERROR(ReadColumn(payload, &pos, num_nodes, &g.out_weights_,
+                                   "node out-weights"));
+    RTR_RETURN_IF_ERROR(ReadColumn(payload, &pos, num_nodes + 1,
+                                   &g.in_offsets_, "in offsets"));
+    RTR_RETURN_IF_ERROR(
+        ReadColumn(payload, &pos, num_arcs, &g.in_sources_, "in sources"));
+    RTR_RETURN_IF_ERROR(ReadColumn(payload, &pos, num_arcs,
+                                   &g.in_arc_weights_, "in weights"));
+    RTR_RETURN_IF_ERROR(
+        ReadColumn(payload, &pos, num_arcs, &g.in_probs_, "in probs"));
+    if (pos != payload.size()) {
+      return Status::IoError("snapshot has trailing garbage");
+    }
+
+    // Structural validation: a load that returns OK must yield a graph every
+    // consumer can traverse without bounds checks.
+    for (NodeTypeId t : g.node_types_) {
+      if (t >= num_types) return Status::IoError("snapshot node type invalid");
+    }
+    RTR_RETURN_IF_ERROR(ValidateOffsets(g.out_offsets_, num_arcs,
+                                        "snapshot out-offsets"));
+    RTR_RETURN_IF_ERROR(ValidateOffsets(g.in_offsets_, num_arcs,
+                                        "snapshot in-offsets"));
+    RTR_RETURN_IF_ERROR(ValidateEndpoints(g.out_targets_, num_nodes,
+                                          "snapshot out-arc"));
+    RTR_RETURN_IF_ERROR(ValidateEndpoints(g.in_sources_, num_nodes,
+                                          "snapshot in-arc"));
+    return g;
+  }
+};
+
+Status SaveGraphSnapshot(const Graph& g, std::ostream& out) {
+  const std::string payload = SnapshotCodec::SerializePayload(g);
+
+  std::string header;
+  header.reserve(kHeaderBytes);
+  AppendRaw(&header, kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendU<uint32_t>(&header, kSnapshotVersion);
+  AppendU<uint32_t>(&header, static_cast<uint32_t>(kHeaderBytes));
+  AppendU<uint64_t>(&header, g.type_names().size());
+  AppendU<uint64_t>(&header, g.num_nodes());
+  AppendU<uint64_t>(&header, g.num_arcs());
+  AppendU<uint64_t>(&header, SnapshotCodec::TypeBlockBytes(g));
+  AppendU<uint64_t>(&header, Fnv1a64Words(payload.data(), payload.size()));
+  AppendU<uint64_t>(&header, 0);  // reserved
+  DCHECK_EQ(header.size(), kHeaderBytes);
+
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) return Status::IoError("failed writing snapshot stream");
+  return Status::OK();
+}
+
+Status SaveGraphSnapshotToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return SaveGraphSnapshot(g, out);
+}
+
+namespace {
+
+StatusOr<Graph> LoadGraphSnapshotBuffer(const std::string& buf) {
+  if (buf.size() < kHeaderBytes) {
+    return Status::IoError("snapshot shorter than its header");
+  }
+  if (std::memcmp(buf.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::IoError("bad snapshot magic");
+  }
+  uint32_t version = 0, header_bytes = 0;
+  std::memcpy(&version, buf.data() + 8, sizeof(version));
+  std::memcpy(&header_bytes, buf.data() + 12, sizeof(header_bytes));
+  if (version != kSnapshotVersion) {
+    return Status::IoError("unsupported snapshot version " +
+                           std::to_string(version));
+  }
+  if (header_bytes != kHeaderBytes) {
+    return Status::IoError("bad snapshot header size");
+  }
+  uint64_t fields[6];
+  std::memcpy(fields, buf.data() + 16, sizeof(fields));
+  const uint64_t num_types = fields[0];
+  const uint64_t num_nodes = fields[1];
+  const uint64_t num_arcs = fields[2];
+  const uint64_t type_block_bytes = fields[3];
+  const uint64_t checksum = fields[4];
+
+  // Range checks before any size arithmetic. NodeId is u32: a node count at
+  // or beyond kInvalidNode cannot be indexed (u32 overflow guard).
+  if (num_nodes >= kInvalidNode) {
+    return Status::IoError("snapshot node count overflows NodeId");
+  }
+  if (num_types == 0 || num_types > std::numeric_limits<NodeTypeId>::max()) {
+    return Status::IoError("snapshot type count out of range");
+  }
+  if (num_arcs > kMaxSnapshotArcs) {
+    return Status::IoError("snapshot arc count out of range");
+  }
+  if (type_block_bytes % 8 != 0 || type_block_bytes > buf.size()) {
+    return Status::IoError("snapshot type-name block size invalid");
+  }
+
+  // Exact-size check: truncated and oversized (trailing-garbage) files are
+  // both rejected before the checksum pass.
+  const uint64_t expected_payload =
+      type_block_bytes + Padded(num_nodes * sizeof(NodeTypeId)) +
+      2 * ((num_nodes + 1) * sizeof(uint64_t)) +     // offsets
+      2 * Padded(num_arcs * sizeof(NodeId)) +        // targets + sources
+      4 * (num_arcs * sizeof(double)) +              // arc weights + probs
+      num_nodes * sizeof(double);                    // per-node out-weights
+  if (buf.size() - kHeaderBytes != expected_payload) {
+    return Status::IoError(
+        buf.size() - kHeaderBytes < expected_payload
+            ? "snapshot truncated (arc/node counts disagree with file size)"
+            : "snapshot has trailing garbage");
+  }
+
+  const std::string_view payload(buf.data() + kHeaderBytes,
+                                 buf.size() - kHeaderBytes);
+  if (Fnv1a64Words(payload.data(), payload.size()) != checksum) {
+    return Status::IoError("snapshot checksum mismatch");
+  }
+  return SnapshotCodec::Deserialize(num_types, num_nodes, num_arcs,
+                                    type_block_bytes, payload);
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadGraphSnapshot(std::istream& in) {
+  std::string buf(std::istreambuf_iterator<char>(in), {});
+  return LoadGraphSnapshotBuffer(buf);
+}
+
+StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  const std::streamsize size = in.tellg();
+  if (size < 0) {
+    return Status::IoError("cannot determine snapshot size: " + path);
+  }
+  in.seekg(0);
+  // One bulk read of the whole file; the columns are then block-copied into
+  // place (see SnapshotCodec::Deserialize) with no per-arc work.
+  std::string buf(static_cast<size_t>(size), '\0');
+  if (size > 0 && !in.read(buf.data(), size)) {
+    return Status::IoError("failed reading snapshot: " + path);
+  }
+  return LoadGraphSnapshotBuffer(buf);
+}
+
+StatusOr<bool> IsSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[sizeof(kSnapshotMagic)] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
+}
+
+StatusOr<Graph> LoadGraphAuto(const std::string& path) {
+  StatusOr<bool> is_snapshot = IsSnapshotFile(path);
+  RTR_RETURN_IF_ERROR(is_snapshot.status());
+  if (*is_snapshot) return LoadGraphSnapshotFromFile(path);
+  return LoadGraphFromFile(path);
+}
+
+}  // namespace rtr

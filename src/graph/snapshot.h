@@ -1,0 +1,71 @@
+#ifndef RTR_GRAPH_SNAPSHOT_H_
+#define RTR_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rtr {
+
+// Binary graph snapshots ("rtr-snap" version 1).
+//
+// A snapshot freezes a Graph's columnar CSR arrays verbatim so a process can
+// come up without replaying text parsing + GraphBuilder sorting/merging: the
+// loader performs one bulk read and block-copies each column into place.
+// Layout (all integers little-endian, every section padded to an 8-byte
+// boundary so a loader may also mmap the file and point spans directly at
+// it):
+//
+//   header (64 bytes):
+//     char[8]  magic            "rtr-snap"
+//     u32      version          1
+//     u32      header_bytes     64
+//     u64      num_types
+//     u64      num_nodes
+//     u64      num_arcs
+//     u64      type_block_bytes (padded size of the type-name section)
+//     u64      payload_checksum (FNV-1a 64 over everything after the header)
+//     u64      reserved         0
+//   payload:
+//     type names                num_types x (u32 length + bytes), padded
+//     node_types                num_nodes x u16, padded
+//     out_offsets               (num_nodes+1) x u64
+//     out_targets               num_arcs x u32, padded
+//     out_arc_weights           num_arcs x f64
+//     out_probs                 num_arcs x f64
+//     out_node_weights          num_nodes x f64
+//     in_offsets                (num_nodes+1) x u64
+//     in_sources                num_arcs x u32, padded
+//     in_arc_weights            num_arcs x f64
+//     in_probs                  num_arcs x f64
+//
+// The loader validates the magic, version, exact file size (truncated or
+// oversized/trailing-garbage files are rejected), checksum, offset
+// monotonicity and endpoint/type ranges, so a load that returns OK yields a
+// Graph bit-identical to the one saved. All failures are Status::IoError.
+
+inline constexpr char kSnapshotMagic[8] = {'r', 't', 'r', '-',
+                                           's', 'n', 'a', 'p'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+Status SaveGraphSnapshot(const Graph& g, std::ostream& out);
+Status SaveGraphSnapshotToFile(const Graph& g, const std::string& path);
+
+StatusOr<Graph> LoadGraphSnapshot(std::istream& in);
+StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path);
+
+// True if `path` starts with the snapshot magic; IoError if it cannot be
+// read at all. Files shorter than the magic are simply "not snapshots".
+StatusOr<bool> IsSnapshotFile(const std::string& path);
+
+// Loads a graph from either format, auto-detected by magic: binary
+// snapshots go through LoadGraphSnapshotFromFile, everything else through
+// the text loader (graph/io.h).
+StatusOr<Graph> LoadGraphAuto(const std::string& path);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_SNAPSHOT_H_

@@ -29,10 +29,12 @@ StatusOr<Subgraph> InducedSubgraph(const Graph& parent,
   }
   for (NodeId old_id : sub.to_parent) {
     NodeId new_source = sub.from_parent[old_id];
-    for (const OutArc& arc : parent.out_arcs(old_id)) {
-      NodeId new_target = sub.from_parent[arc.target];
+    auto targets = parent.out_targets(old_id);
+    auto weights = parent.out_arc_weights(old_id);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      NodeId new_target = sub.from_parent[targets[i]];
       if (new_target == kInvalidNode) continue;
-      builder.AddDirectedEdge(new_source, new_target, arc.weight);
+      builder.AddDirectedEdge(new_source, new_target, weights[i]);
     }
   }
   StatusOr<Graph> graph = builder.Build();
@@ -58,18 +60,18 @@ std::vector<NodeId> KHopNeighborhood(const Graph& g,
   for (int hop = 0; hop < hops && !frontier.empty(); ++hop) {
     std::vector<NodeId> next;
     for (NodeId v : frontier) {
-      for (const OutArc& arc : g.out_arcs(v)) {
-        if (!visited[arc.target]) {
-          visited[arc.target] = true;
-          next.push_back(arc.target);
-          result.push_back(arc.target);
+      for (NodeId target : g.out_targets(v)) {
+        if (!visited[target]) {
+          visited[target] = true;
+          next.push_back(target);
+          result.push_back(target);
         }
       }
-      for (const InArc& arc : g.in_arcs(v)) {
-        if (!visited[arc.source]) {
-          visited[arc.source] = true;
-          next.push_back(arc.source);
-          result.push_back(arc.source);
+      for (NodeId source : g.in_sources(v)) {
+        if (!visited[source]) {
+          visited[source] = true;
+          next.push_back(source);
+          result.push_back(source);
         }
       }
     }

@@ -18,22 +18,6 @@ using NodeTypeId = uint16_t;
 
 inline constexpr NodeTypeId kUntypedNode = 0;
 
-// A directed arc leaving a node, with its raw weight and the row-stochastic
-// one-step transition probability M[source][target].
-struct OutArc {
-  NodeId target = kInvalidNode;
-  double weight = 0.0;
-  double prob = 0.0;
-};
-
-// A directed arc entering a node; `prob` is the transition probability
-// M[source][this], i.e., normalized by the *source's* total out-weight.
-struct InArc {
-  NodeId source = kInvalidNode;
-  double weight = 0.0;
-  double prob = 0.0;
-};
-
 // Query: one or more nodes; proximity for multi-node queries follows the
 // Linearity Theorem (uniform mixture over the query nodes).
 using Query = std::vector<NodeId>;

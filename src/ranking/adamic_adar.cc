@@ -17,8 +17,8 @@ class AdamicAdarMeasure : public ProximityMeasure {
     neighbors_.resize(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       std::unordered_set<NodeId> set;
-      for (const OutArc& arc : g.out_arcs(v)) set.insert(arc.target);
-      for (const InArc& arc : g.in_arcs(v)) set.insert(arc.source);
+      for (NodeId target : g.out_targets(v)) set.insert(target);
+      for (NodeId source : g.in_sources(v)) set.insert(source);
       neighbors_[v].assign(set.begin(), set.end());
     }
   }

@@ -32,19 +32,8 @@ class EscapeProbabilityMeasure : public ProximityMeasure {
       for (int walk = 0; walk < params_.num_walks; ++walk) {
         NodeId current = q;
         for (int step = 0; step < params_.max_steps; ++step) {
-          auto arcs = graph_.out_arcs(current);
-          if (arcs.empty()) break;  // the walk dies: no more visits
-          double u = rng.NextDouble();
-          double acc = 0.0;
-          NodeId next = arcs.back().target;
-          for (const OutArc& arc : arcs) {
-            acc += arc.prob;
-            if (u < acc) {
-              next = arc.target;
-              break;
-            }
-          }
-          current = next;
+          if (graph_.out_degree(current) == 0) break;  // the walk dies
+          current = graph_.SampleOutNeighbor(current, rng.NextDouble());
           if (current == q) break;  // returned before visiting more nodes
           if (last_walk[current] != walk) {
             last_walk[current] = walk;

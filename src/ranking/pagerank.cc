@@ -35,9 +35,12 @@ std::vector<double> FRank(const Graph& g, const Query& query,
   std::vector<double> next(g.num_nodes(), 0.0);
   for (int iter = 0; iter < params.max_iterations; ++iter) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      // Hot loop: streams only the (source, prob) columns.
+      auto sources = g.in_sources(v);
+      auto probs = g.in_probs(v);
       double sum = 0.0;
-      for (const InArc& arc : g.in_arcs(v)) {
-        sum += arc.prob * f[arc.source];
+      for (size_t i = 0; i < sources.size(); ++i) {
+        sum += probs[i] * f[sources[i]];
       }
       next[v] = params.alpha * start[v] + (1.0 - params.alpha) * sum;
     }
@@ -56,9 +59,11 @@ std::vector<double> TRank(const Graph& g, const Query& query,
   std::vector<double> next(g.num_nodes(), 0.0);
   for (int iter = 0; iter < params.max_iterations; ++iter) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto targets = g.out_targets(v);
+      auto probs = g.out_probs(v);
       double sum = 0.0;
-      for (const OutArc& arc : g.out_arcs(v)) {
-        sum += arc.prob * t[arc.target];
+      for (size_t i = 0; i < targets.size(); ++i) {
+        sum += probs[i] * t[targets[i]];
       }
       next[v] = params.alpha * start[v] + (1.0 - params.alpha) * sum;
     }

@@ -70,7 +70,7 @@ class SimRankMeasure : public ProximityMeasure {
     // Per-node cumulative in-weights for weighted in-neighbor sampling.
     std::vector<double> in_weight(n, 0.0);
     for (NodeId v = 0; v < n; ++v) {
-      for (const InArc& arc : graph_.in_arcs(v)) in_weight[v] += arc.weight;
+      for (double w : graph_.in_arc_weights(v)) in_weight[v] += w;
     }
     positions_.assign(params_.num_walks,
                       std::vector<NodeId>(params_.walk_length * n));
@@ -94,15 +94,16 @@ class SimRankMeasure : public ProximityMeasure {
 
   NodeId StepBack(NodeId v, const std::vector<double>& in_weight, Rng& rng) {
     if (v == kInvalidNode) return kInvalidNode;
-    auto arcs = graph_.in_arcs(v);
-    if (arcs.empty() || in_weight[v] <= 0.0) return kInvalidNode;
+    auto sources = graph_.in_sources(v);
+    auto weights = graph_.in_arc_weights(v);
+    if (sources.empty() || in_weight[v] <= 0.0) return kInvalidNode;
     double u = rng.NextDouble() * in_weight[v];
     double acc = 0.0;
-    for (const InArc& arc : arcs) {
-      acc += arc.weight;
-      if (u < acc) return arc.source;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return sources[i];
     }
-    return arcs.back().source;
+    return sources.back();
   }
 
   NodeId Position(NodeId v, int walk, int step) const {

@@ -54,14 +54,17 @@ class TCommuteMeasure : public ProximityMeasure {
           next[v] = 0.0;
           continue;
         }
-        auto arcs = graph_.out_arcs(v);
-        if (arcs.empty()) {
+        auto targets = graph_.out_targets(v);
+        if (targets.empty()) {
           // The walk is stuck: treat as a self-loop, accruing time.
           next[v] = 1.0 + h[v];
           continue;
         }
+        auto probs = graph_.out_probs(v);
         double sum = 0.0;
-        for (const OutArc& arc : arcs) sum += arc.prob * h[arc.target];
+        for (size_t i = 0; i < targets.size(); ++i) {
+          sum += probs[i] * h[targets[i]];
+        }
         next[v] = 1.0 + sum;
       }
       h.swap(next);
@@ -84,19 +87,8 @@ class TCommuteMeasure : public ProximityMeasure {
       first_visit[q] = 0;
       visited.push_back(q);
       for (int step = 1; step <= params_.horizon; ++step) {
-        auto arcs = graph_.out_arcs(current);
-        if (arcs.empty()) break;
-        double u = rng.NextDouble();
-        double acc = 0.0;
-        NodeId next = arcs.back().target;
-        for (const OutArc& arc : arcs) {
-          acc += arc.prob;
-          if (u < acc) {
-            next = arc.target;
-            break;
-          }
-        }
-        current = next;
+        if (graph_.out_degree(current) == 0) break;
+        current = graph_.SampleOutNeighbor(current, rng.NextDouble());
         if (first_visit[current] < 0) {
           first_visit[current] = step;
           visited.push_back(current);

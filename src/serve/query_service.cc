@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "graph/snapshot.h"
 #include "util/logging.h"
 
 namespace rtr::serve {
@@ -38,6 +39,16 @@ QueryService::QueryService(const dist::Cluster& cluster,
       cache_(options.cache_capacity, options.cache_shards) {
   CHECK_GE(options_.num_workers, 1);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+}
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::FromGraphFile(
+    const std::string& path, const ServiceOptions& options) {
+  StatusOr<Graph> loaded = LoadGraphAuto(path);
+  RTR_RETURN_IF_ERROR(loaded.status());
+  auto graph = std::make_unique<const Graph>(std::move(loaded).value());
+  auto service = std::make_unique<QueryService>(*graph, options);
+  service->owned_graph_ = std::move(graph);
+  return service;
 }
 
 QueryService::~QueryService() { Shutdown(); }

@@ -22,7 +22,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -109,6 +111,15 @@ class QueryService {
   // Serves through the distributed AP/GP replay. `cluster` (and the graph
   // it references) must outlive the service.
   QueryService(const dist::Cluster& cluster, const ServiceOptions& options);
+
+  // Process bring-up from a saved graph: loads `path` (binary snapshot or
+  // text, auto-detected by magic — see graph/snapshot.h), takes ownership
+  // of the loaded graph, and serves it from the local engine. The fast path
+  // for cold starts: a snapshot load skips the text-parse/GraphBuilder
+  // replay entirely.
+  static StatusOr<std::unique_ptr<QueryService>> FromGraphFile(
+      const std::string& path, const ServiceOptions& options);
+
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -154,6 +165,9 @@ class QueryService {
   // Backend dispatch for one cache miss.
   Status RunEngine(const ServeRequest& request, core::TopKResult* topk) const;
 
+  // Set only by FromGraphFile: keeps a snapshot-loaded graph alive for the
+  // service's lifetime (graph_ references it).
+  std::unique_ptr<const Graph> owned_graph_;
   const Graph& graph_;
   const dist::Cluster* cluster_ = nullptr;  // non-null iff kDistributed
   Backend backend_;

@@ -226,8 +226,8 @@ TEST(TRankBounderTest, BorderFlagConsistent) {
     if (!bounder.ExpandAndRefine()) break;
     for (NodeId v : bounder.seen()) {
       bool has_outside_in = false;
-      for (const InArc& arc : g.in_arcs(v)) {
-        if (!bounder.IsSeen(arc.source)) has_outside_in = true;
+      for (NodeId source : g.in_sources(v)) {
+        if (!bounder.IsSeen(source)) has_outside_in = true;
       }
       EXPECT_EQ(bounder.IsBorder(v), has_outside_in) << "node " << v;
     }

@@ -165,7 +165,7 @@ TEST(QLogPropertyTest, EquivalentPhrasesOverlapMoreThanTopicSiblings) {
   const Graph& g = log.graph();
   auto neighbor_set = [&g](NodeId v) {
     std::set<NodeId> out;
-    for (const OutArc& arc : g.out_arcs(v)) out.insert(arc.target);
+    for (NodeId target : g.out_targets(v)) out.insert(target);
     return out;
   };
   auto jaccard = [](const std::set<NodeId>& a, const std::set<NodeId>& b) {

@@ -1,6 +1,8 @@
 #include "dist/distributed_topk.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 #include "core/twosbound.h"
 #include "datasets/qlog.h"
 #include "graph/builder.h"
+#include "graph/snapshot.h"
 
 namespace rtr {
 namespace {
@@ -181,6 +184,39 @@ TEST(DistributedTopKTest, PropagatesInvalidQuery) {
       dist::DistributedTopK(cluster, {}, params);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Shard bring-up from a snapshot file: the striped storage must match a
+// cluster built over the in-memory graph, and queries must agree.
+TEST(ClusterTest, FromGraphFileBringsUpShards) {
+  Graph g = SmallRandomishGraph();
+  const std::string path =
+      testing::TempDir() + "/rtr_cluster_test.rtrsnap";
+  ASSERT_TRUE(SaveGraphSnapshotToFile(g, path).ok());
+
+  StatusOr<std::unique_ptr<dist::Cluster>> cluster =
+      dist::Cluster::FromGraphFile(path, 3);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  dist::Cluster reference(g, 3);
+  EXPECT_EQ((*cluster)->num_gps(), 3);
+  EXPECT_EQ((*cluster)->total_stored_bytes(),
+            reference.total_stored_bytes());
+
+  core::TopKParams params;
+  params.k = 5;
+  params.epsilon = 0.001;
+  StatusOr<dist::DistributedTopKResult> result =
+      dist::DistributedTopK(**cluster, {0}, params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  core::TopKResult local = core::TopKRoundTripRank(g, {0}, params).value();
+  ASSERT_EQ(result->topk.entries.size(), local.entries.size());
+  for (size_t i = 0; i < local.entries.size(); ++i) {
+    EXPECT_EQ(result->topk.entries[i].node, local.entries[i].node);
+  }
+}
+
+TEST(ClusterTest, FromGraphFileRejectsBadInput) {
+  EXPECT_FALSE(dist::Cluster::FromGraphFile("/nonexistent/g", 2).ok());
 }
 
 }  // namespace

@@ -48,8 +48,9 @@ TEST(GraphBuilderTest, DirectedEdgeAppearsOnce) {
   EXPECT_EQ(g.out_degree(1), 0u);
   EXPECT_EQ(g.in_degree(1), 1u);
   EXPECT_EQ(g.in_degree(0), 0u);
-  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].weight, 2.0);
-  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].prob, 1.0);
+  EXPECT_DOUBLE_EQ(g.out_arc_weights(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(g.out_probs(0)[0], 1.0);
+  EXPECT_EQ(g.out_targets(0)[0], 1u);
 }
 
 TEST(GraphBuilderTest, UndirectedEdgeMakesTwoArcs) {
@@ -69,7 +70,7 @@ TEST(GraphBuilderTest, ParallelArcsMergeWeights) {
   b.AddDirectedEdge(0, 1, 2.5);
   Graph g = b.Build().value();
   EXPECT_EQ(g.num_arcs(), 1u);
-  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].weight, 3.5);
+  EXPECT_DOUBLE_EQ(g.out_arc_weights(0)[0], 3.5);
 }
 
 TEST(GraphBuilderTest, TransitionProbabilitiesRowStochastic) {
@@ -80,7 +81,7 @@ TEST(GraphBuilderTest, TransitionProbabilitiesRowStochastic) {
   b.AddDirectedEdge(0, 3, 1.0);
   Graph g = b.Build().value();
   double total = 0.0;
-  for (const OutArc& arc : g.out_arcs(0)) total += arc.prob;
+  for (double prob : g.out_probs(0)) total += prob;
   EXPECT_NEAR(total, 1.0, 1e-15);
   EXPECT_DOUBLE_EQ(g.TransitionProb(0, 2), 0.5);
   EXPECT_DOUBLE_EQ(g.TransitionProb(0, 1), 0.25);
@@ -94,8 +95,10 @@ TEST(GraphBuilderTest, InArcsMirrorOutProbabilities) {
   b.AddDirectedEdge(1, 2, 5.0);
   Graph g = b.Build().value();
   ASSERT_EQ(g.in_degree(2), 2u);
-  for (const InArc& arc : g.in_arcs(2)) {
-    EXPECT_DOUBLE_EQ(arc.prob, g.TransitionProb(arc.source, 2));
+  auto sources = g.in_sources(2);
+  auto probs = g.in_probs(2);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_DOUBLE_EQ(probs[i], g.TransitionProb(sources[i], 2));
   }
 }
 

@@ -114,11 +114,12 @@ TEST(GraphTest, InArcSpanContents) {
   ToyGraph toy = MakeToyGraph();
   const Graph& g = toy.graph;
   // v2's in-arcs come from p3 and p4 (papers with prob 1/2 each).
-  auto in = g.in_arcs(toy.v2);
-  ASSERT_EQ(in.size(), 2u);
-  for (const InArc& arc : in) {
-    EXPECT_TRUE(arc.source == toy.p[2] || arc.source == toy.p[3]);
-    EXPECT_DOUBLE_EQ(arc.prob, 0.5);
+  auto sources = g.in_sources(toy.v2);
+  auto probs = g.in_probs(toy.v2);
+  ASSERT_EQ(sources.size(), 2u);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_TRUE(sources[i] == toy.p[2] || sources[i] == toy.p[3]);
+    EXPECT_DOUBLE_EQ(probs[i], 0.5);
   }
 }
 

@@ -30,13 +30,17 @@ TEST(GraphIoTest, RoundTripPreservesStructure) {
   ASSERT_EQ(loaded.num_arcs(), g.num_arcs());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_EQ(loaded.node_type(v), g.node_type(v));
-    auto orig = g.out_arcs(v);
-    auto got = loaded.out_arcs(v);
-    ASSERT_EQ(orig.size(), got.size());
-    for (size_t i = 0; i < orig.size(); ++i) {
-      EXPECT_EQ(got[i].target, orig[i].target);
-      EXPECT_DOUBLE_EQ(got[i].weight, orig[i].weight);
-      EXPECT_DOUBLE_EQ(got[i].prob, orig[i].prob);
+    ASSERT_EQ(loaded.out_degree(v), g.out_degree(v));
+    auto orig_targets = g.out_targets(v);
+    auto got_targets = loaded.out_targets(v);
+    auto orig_weights = g.out_arc_weights(v);
+    auto got_weights = loaded.out_arc_weights(v);
+    auto orig_probs = g.out_probs(v);
+    auto got_probs = loaded.out_probs(v);
+    for (size_t i = 0; i < orig_targets.size(); ++i) {
+      EXPECT_EQ(got_targets[i], orig_targets[i]);
+      EXPECT_DOUBLE_EQ(got_weights[i], orig_weights[i]);
+      EXPECT_DOUBLE_EQ(got_probs[i], orig_probs[i]);
     }
   }
 }
@@ -71,6 +75,70 @@ TEST(GraphIoTest, TruncatedStreamRejected) {
 TEST(GraphIoTest, InvalidArcEndpointRejected) {
   std::stringstream ss(
       "rtr-graph 1\n1\nuntyped\n2\n0\n0\n1\n0 7 1.0\n");
+  EXPECT_FALSE(LoadGraphText(ss).ok());
+}
+
+// Text round-trip on a graph with dangling nodes, several node types and
+// merged parallel edges: the 17-significant-digit weights reconstruct the
+// prob columns bit-identically.
+TEST(GraphIoTest, ProbColumnsBitIdenticalAfterTextRoundTrip) {
+  GraphBuilder b;
+  NodeTypeId paper = b.AddNodeType("paper");
+  NodeTypeId author = b.AddNodeType("author");
+  b.AddNode(paper);
+  b.AddNode(author);
+  b.AddNode(paper);  // dangling
+  b.AddNode(kUntypedNode);
+  b.AddDirectedEdge(0, 1, 0.1);
+  b.AddDirectedEdge(0, 1, 0.2);  // parallel, accumulates with fp round-off
+  b.AddDirectedEdge(0, 3, 1.0 / 3.0);
+  b.AddDirectedEdge(1, 2, 0.7);
+  b.AddUndirectedEdge(1, 3, 0.25);
+  Graph g = b.Build().value();
+
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  Graph loaded = LoadGraphText(ss).value();
+  auto expect_bits_eq = [](std::span<const double> a,
+                           std::span<const double> b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "index " << i;
+    }
+  };
+  expect_bits_eq(g.out_probs(), loaded.out_probs());
+  expect_bits_eq(g.in_probs(), loaded.in_probs());
+  expect_bits_eq(g.out_arc_weights(), loaded.out_arc_weights());
+}
+
+TEST(GraphIoTest, TrailingGarbageRejected) {
+  Graph g = SampleGraph();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraphText(g, ss).ok());
+  ss << "0 1 1.0\n";  // an extra arc beyond the declared count
+  StatusOr<Graph> loaded = LoadGraphText(ss);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, ArcCountMismatchRejected) {
+  // Header declares 2 arcs but only 1 follows (truncated input).
+  std::stringstream ss("rtr-graph 1\n1\nuntyped\n2\n0\n0\n2\n0 1 1.0\n");
+  StatusOr<Graph> loaded = LoadGraphText(ss);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, NodeCountOverflowRejected) {
+  // 2^32 nodes cannot be indexed by the u32 NodeId.
+  std::stringstream ss("rtr-graph 1\n1\nuntyped\n4294967296\n");
+  StatusOr<Graph> loaded = LoadGraphText(ss);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, TypeCountOverflowRejected) {
+  std::stringstream ss("rtr-graph 1\n70000\nuntyped\n");
   EXPECT_FALSE(LoadGraphText(ss).ok());
 }
 

@@ -42,10 +42,12 @@ TEST_P(GraphProperties, TransitionProbabilitiesRowStochastic) {
   Graph g = RandomGraph(GetParam());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     double total = 0.0;
-    for (const OutArc& arc : g.out_arcs(v)) {
-      EXPECT_GT(arc.prob, 0.0);
-      EXPECT_GT(arc.weight, 0.0);
-      total += arc.prob;
+    auto probs = g.out_probs(v);
+    auto weights = g.out_arc_weights(v);
+    for (size_t i = 0; i < probs.size(); ++i) {
+      EXPECT_GT(probs[i], 0.0);
+      EXPECT_GT(weights[i], 0.0);
+      total += probs[i];
     }
     if (g.out_degree(v) > 0) {
       EXPECT_NEAR(total, 1.0, 1e-12) << "node " << v;
@@ -57,20 +59,24 @@ TEST_P(GraphProperties, InArcsExactlyMirrorOutArcs) {
   Graph g = RandomGraph(GetParam() + 100);
   std::map<std::pair<NodeId, NodeId>, double> out_probs;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const OutArc& arc : g.out_arcs(v)) {
+    auto targets = g.out_targets(v);
+    auto probs = g.out_probs(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
       // No duplicate arcs after builder merging.
-      auto inserted = out_probs.emplace(std::make_pair(v, arc.target),
-                                        arc.prob);
+      auto inserted = out_probs.emplace(std::make_pair(v, targets[i]),
+                                        probs[i]);
       EXPECT_TRUE(inserted.second);
     }
   }
   size_t in_total = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const InArc& arc : g.in_arcs(v)) {
+    auto sources = g.in_sources(v);
+    auto probs = g.in_probs(v);
+    for (size_t i = 0; i < sources.size(); ++i) {
       ++in_total;
-      auto it = out_probs.find({arc.source, v});
+      auto it = out_probs.find({sources[i], v});
       ASSERT_NE(it, out_probs.end());
-      EXPECT_DOUBLE_EQ(arc.prob, it->second);
+      EXPECT_DOUBLE_EQ(probs[i], it->second);
     }
   }
   EXPECT_EQ(in_total, out_probs.size());
@@ -86,12 +92,14 @@ TEST_P(GraphProperties, SerializationRoundTripsExactly) {
   ASSERT_EQ(loaded.num_arcs(), g.num_arcs());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_EQ(loaded.node_type(v), g.node_type(v));
-    auto a = g.out_arcs(v);
-    auto b = loaded.out_arcs(v);
-    ASSERT_EQ(a.size(), b.size());
-    for (size_t i = 0; i < a.size(); ++i) {
-      EXPECT_EQ(a[i].target, b[i].target);
-      EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    auto a_targets = g.out_targets(v);
+    auto b_targets = loaded.out_targets(v);
+    auto a_weights = g.out_arc_weights(v);
+    auto b_weights = loaded.out_arc_weights(v);
+    ASSERT_EQ(a_targets.size(), b_targets.size());
+    for (size_t i = 0; i < a_targets.size(); ++i) {
+      EXPECT_EQ(a_targets[i], b_targets[i]);
+      EXPECT_DOUBLE_EQ(a_weights[i], b_weights[i]);
     }
   }
 }
@@ -122,13 +130,17 @@ TEST_P(GraphProperties, SubgraphArcsSubsetOfParent) {
   std::vector<NodeId> nodes(picks.begin(), picks.end());
   Subgraph sub = InducedSubgraph(g, nodes).value();
   for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
-    for (const OutArc& arc : sub.graph.out_arcs(v)) {
+    auto sub_targets = sub.graph.out_targets(v);
+    auto sub_weights = sub.graph.out_arc_weights(v);
+    for (size_t i = 0; i < sub_targets.size(); ++i) {
       NodeId pu = sub.to_parent[v];
-      NodeId pv = sub.to_parent[arc.target];
+      NodeId pv = sub.to_parent[sub_targets[i]];
       bool found = false;
-      for (const OutArc& parent_arc : g.out_arcs(pu)) {
-        if (parent_arc.target == pv) {
-          EXPECT_DOUBLE_EQ(parent_arc.weight, arc.weight);
+      auto parent_targets = g.out_targets(pu);
+      auto parent_weights = g.out_arc_weights(pu);
+      for (size_t j = 0; j < parent_targets.size(); ++j) {
+        if (parent_targets[j] == pv) {
+          EXPECT_DOUBLE_EQ(parent_weights[j], sub_weights[i]);
           found = true;
         }
       }
@@ -146,8 +158,8 @@ TEST_P(GraphProperties, SccPartitionIsConsistent) {
     ASSERT_LT(scc.component[v], scc.num_components);
     // Arcs never point from a lower to a higher Tarjan component index
     // (reverse topological numbering).
-    for (const OutArc& arc : g.out_arcs(v)) {
-      EXPECT_GE(scc.component[v], scc.component[arc.target]);
+    for (NodeId target : g.out_targets(v)) {
+      EXPECT_GE(scc.component[v], scc.component[target]);
     }
   }
 }

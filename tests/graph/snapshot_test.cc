@@ -1,0 +1,240 @@
+// Binary snapshot round-trips (bit-identical columns) and corruption
+// handling: truncation, trailing garbage, checksum flips, header lies.
+#include "graph/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace rtr {
+namespace {
+
+// Exercises every structural wrinkle at once: multiple node types, dangling
+// nodes (2 and 5 have no out-arcs), parallel edges that must accumulate,
+// and a self-loop.
+Graph TrickyGraph() {
+  GraphBuilder b;
+  NodeTypeId paper = b.AddNodeType("paper");
+  NodeTypeId author = b.AddNodeType("author");
+  b.AddNode(paper);           // 0
+  b.AddNode(author);          // 1
+  b.AddNode(paper);           // 2: dangling
+  b.AddNode(kUntypedNode);    // 3
+  b.AddNode(author);          // 4
+  b.AddNode(paper);           // 5: dangling, never referenced at all
+  b.AddDirectedEdge(0, 1, 1.25);
+  b.AddDirectedEdge(0, 1, 0.75);  // parallel: merges to 2.0
+  b.AddDirectedEdge(0, 2, 3.0);
+  b.AddUndirectedEdge(1, 3, 0.5);
+  b.AddDirectedEdge(3, 3, 1.0);   // self-loop
+  b.AddDirectedEdge(4, 0, 7.0);
+  b.AddDirectedEdge(4, 2, 0.125);
+  return b.Build().value();
+}
+
+Graph RandomGraph(uint64_t seed, size_t n = 60) {
+  Rng rng(seed);
+  GraphBuilder b;
+  NodeTypeId t1 = b.AddNodeType("x");
+  for (size_t i = 0; i < n; ++i) {
+    b.AddNode(rng.NextBernoulli(0.5) ? t1 : kUntypedNode);
+  }
+  for (size_t e = 0; e < 4 * n; ++e) {
+    b.AddDirectedEdge(static_cast<NodeId>(rng.NextUint64(n)),
+                      static_cast<NodeId>(rng.NextUint64(n)),
+                      0.1 + rng.NextDouble());
+  }
+  return b.Build().value();
+}
+
+template <typename T>
+void ExpectColumnsEq(std::span<const T> a, std::span<const T> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, not approximately equal: the snapshot stores the
+    // column bytes verbatim.
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(T)), 0) << "index " << i;
+  }
+}
+
+void ExpectGraphsIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_EQ(a.type_names(), b.type_names());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.node_type(v), b.node_type(v));
+    EXPECT_EQ(a.out_weight(v), b.out_weight(v));
+  }
+  ExpectColumnsEq(a.out_offsets(), b.out_offsets());
+  ExpectColumnsEq(a.out_targets(), b.out_targets());
+  ExpectColumnsEq(a.out_arc_weights(), b.out_arc_weights());
+  ExpectColumnsEq(a.out_probs(), b.out_probs());
+  ExpectColumnsEq(a.in_offsets(), b.in_offsets());
+  ExpectColumnsEq(a.in_sources(), b.in_sources());
+  ExpectColumnsEq(a.in_arc_weights(), b.in_arc_weights());
+  ExpectColumnsEq(a.in_probs(), b.in_probs());
+}
+
+std::string Snapshot(const Graph& g) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveGraphSnapshot(g, out).ok());
+  return out.str();
+}
+
+StatusOr<Graph> Load(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return LoadGraphSnapshot(in);
+}
+
+TEST(SnapshotTest, RoundTripTrickyGraphBitIdentical) {
+  Graph g = TrickyGraph();
+  StatusOr<Graph> loaded = Load(Snapshot(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectGraphsIdentical(g, *loaded);
+}
+
+TEST(SnapshotTest, RoundTripRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = RandomGraph(seed);
+    StatusOr<Graph> loaded = Load(Snapshot(g));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectGraphsIdentical(g, *loaded);
+  }
+}
+
+TEST(SnapshotTest, RoundTripEmptyGraph) {
+  Graph g = GraphBuilder().Build().value();
+  StatusOr<Graph> loaded = Load(Snapshot(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+  EXPECT_EQ(loaded->num_arcs(), 0u);
+  EXPECT_EQ(loaded->type_names(), g.type_names());
+}
+
+// The probs column must survive save->load exactly, even after
+// parallel-edge accumulation produced values a text round-trip could only
+// approximately reconstruct.
+TEST(SnapshotTest, ProbColumnBitIdenticalUnderParallelEdgeAccumulation) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  for (int i = 0; i < 10; ++i) {
+    b.AddDirectedEdge(0, 1, 0.1);   // accumulates fp round-off
+    b.AddDirectedEdge(0, 2, 0.3);
+  }
+  Graph g = b.Build().value();
+  StatusOr<Graph> loaded = Load(Snapshot(g));
+  ASSERT_TRUE(loaded.ok());
+  ExpectColumnsEq(g.out_probs(), loaded->out_probs());
+  ExpectColumnsEq(g.in_probs(), loaded->in_probs());
+}
+
+TEST(SnapshotTest, TruncationRejectedAtEveryLength) {
+  Graph g = TrickyGraph();
+  const std::string bytes = Snapshot(g);
+  // Chop at a spread of lengths including mid-header and mid-column.
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{63}, size_t{64},
+                      bytes.size() / 2, bytes.size() - 8, bytes.size() - 1}) {
+    StatusOr<Graph> loaded = Load(bytes.substr(0, keep));
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageRejected) {
+  Graph g = TrickyGraph();
+  StatusOr<Graph> loaded = Load(Snapshot(g) + "extra");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, PayloadCorruptionCaughtByChecksum) {
+  Graph g = TrickyGraph();
+  std::string bytes = Snapshot(g);
+  bytes[bytes.size() - 3] ^= 0x40;  // flip one payload bit
+  StatusOr<Graph> loaded = Load(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  std::string bytes = Snapshot(TrickyGraph());
+  bytes[0] = 'X';
+  EXPECT_FALSE(Load(bytes).ok());
+}
+
+TEST(SnapshotTest, BadVersionRejected) {
+  std::string bytes = Snapshot(TrickyGraph());
+  bytes[8] = 99;  // version field
+  EXPECT_FALSE(Load(bytes).ok());
+}
+
+TEST(SnapshotTest, LyingArcCountRejected) {
+  // Inflate the header's arc count: the exact-size check must fire before
+  // any allocation based on it.
+  std::string bytes = Snapshot(TrickyGraph());
+  uint64_t huge = uint64_t{1} << 40;
+  std::memcpy(&bytes[32], &huge, sizeof(huge));  // num_arcs field
+  StatusOr<Graph> loaded = Load(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, LyingNodeCountRejected) {
+  // A node count past the u32 NodeId range must be rejected outright.
+  std::string bytes = Snapshot(TrickyGraph());
+  uint64_t huge = uint64_t{1} << 32;
+  std::memcpy(&bytes[24], &huge, sizeof(huge));  // num_nodes field
+  StatusOr<Graph> loaded = Load(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, FileRoundTripAndAutoDetect) {
+  Graph g = TrickyGraph();
+  const std::string dir = testing::TempDir();
+  const std::string snap_path = dir + "/rtr_snapshot_test.rtrsnap";
+  const std::string text_path = dir + "/rtr_snapshot_test.txt";
+  ASSERT_TRUE(SaveGraphSnapshotToFile(g, snap_path).ok());
+  ASSERT_TRUE(SaveGraphToFile(g, text_path).ok());
+
+  EXPECT_TRUE(IsSnapshotFile(snap_path).value());
+  EXPECT_FALSE(IsSnapshotFile(text_path).value());
+
+  // Auto-detection routes both formats to a working loader.
+  StatusOr<Graph> from_snap = LoadGraphAuto(snap_path);
+  ASSERT_TRUE(from_snap.ok());
+  ExpectGraphsIdentical(g, *from_snap);
+  StatusOr<Graph> from_text = LoadGraphAuto(text_path);
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_EQ(from_text->num_arcs(), g.num_arcs());
+}
+
+TEST(SnapshotTest, MissingFileRejected) {
+  EXPECT_FALSE(LoadGraphSnapshotFromFile("/nonexistent/x.rtrsnap").ok());
+  EXPECT_FALSE(IsSnapshotFile("/nonexistent/x.rtrsnap").ok());
+  EXPECT_FALSE(LoadGraphAuto("/nonexistent/x.rtrsnap").ok());
+}
+
+// Loading a snapshot must behave exactly like the builder output in the
+// algorithms: spot-check a transition probability and a walk sample.
+TEST(SnapshotTest, LoadedGraphBehavesIdentically) {
+  Graph g = RandomGraph(11);
+  Graph loaded = Load(Snapshot(g)).value();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), loaded.out_degree(v));
+    EXPECT_EQ(g.in_degree(v), loaded.in_degree(v));
+    EXPECT_EQ(g.SampleOutNeighbor(v, 0.37), loaded.SampleOutNeighbor(v, 0.37));
+  }
+  EXPECT_EQ(g.TransitionProb(3, 5), loaded.TransitionProb(3, 5));
+  EXPECT_EQ(g.MemoryBytes(), loaded.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace rtr

@@ -46,9 +46,9 @@ TEST(InducedSubgraphTest, PreservesTypesAndWeights) {
   EXPECT_EQ(sub.graph.node_type(new2), g.node_type(2));
   EXPECT_EQ(sub.graph.node_type(new3), g.node_type(3));
   ASSERT_EQ(sub.graph.out_degree(new2), 1u);
-  EXPECT_DOUBLE_EQ(sub.graph.out_arcs(new2)[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(sub.graph.out_arc_weights(new2)[0], 3.0);
   // Re-normalization: 2's only surviving arc gets probability 1.
-  EXPECT_DOUBLE_EQ(sub.graph.out_arcs(new2)[0].prob, 1.0);
+  EXPECT_DOUBLE_EQ(sub.graph.out_probs(new2)[0], 1.0);
 }
 
 TEST(InducedSubgraphTest, DuplicateSelectionIgnored) {

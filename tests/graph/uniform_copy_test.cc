@@ -25,11 +25,11 @@ TEST(UniformWeightCopyTest, StructurePreserved) {
   ASSERT_EQ(u.num_arcs(), g.num_arcs());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_EQ(u.node_type(v), g.node_type(v));
-    auto a = g.out_arcs(v);
-    auto b = u.out_arcs(v);
+    auto a = g.out_targets(v);
+    auto b = u.out_targets(v);
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) {
-      EXPECT_EQ(a[i].target, b[i].target);
+      EXPECT_EQ(a[i], b[i]);
     }
   }
   EXPECT_EQ(u.type_names(), g.type_names());
@@ -45,8 +45,8 @@ TEST(UniformWeightCopyTest, TransitionsBecomeUniform) {
   EXPECT_NEAR(u.TransitionProb(0, 2), 1.0 / 3.0, 1e-15);
   EXPECT_NEAR(u.TransitionProb(0, 3), 1.0 / 3.0, 1e-15);
   for (NodeId v = 0; v < u.num_nodes(); ++v) {
-    for (const OutArc& arc : u.out_arcs(v)) {
-      EXPECT_DOUBLE_EQ(arc.weight, 1.0);
+    for (double w : u.out_arc_weights(v)) {
+      EXPECT_DOUBLE_EQ(w, 1.0);
     }
   }
 }
@@ -55,8 +55,10 @@ TEST(UniformWeightCopyTest, InArcsMirrorUniformProbabilities) {
   Graph g = WeightedGraph();
   Graph u = UniformWeightCopy(g);
   for (NodeId v = 0; v < u.num_nodes(); ++v) {
-    for (const InArc& arc : u.in_arcs(v)) {
-      EXPECT_DOUBLE_EQ(arc.prob, u.TransitionProb(arc.source, v));
+    auto sources = u.in_sources(v);
+    auto probs = u.in_probs(v);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_DOUBLE_EQ(probs[i], u.TransitionProb(sources[i], v));
     }
   }
 }
@@ -69,10 +71,10 @@ TEST(UniformWeightCopyTest, IdempotentOnUnweightedGraph) {
   Graph g = b.Build().value();
   Graph u = UniformWeightCopy(g);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    auto a = g.out_arcs(v);
-    auto c = u.out_arcs(v);
+    auto a = g.out_probs(v);
+    auto c = u.out_probs(v);
     for (size_t i = 0; i < a.size(); ++i) {
-      EXPECT_DOUBLE_EQ(a[i].prob, c[i].prob);
+      EXPECT_DOUBLE_EQ(a[i], c[i]);
     }
   }
 }

@@ -1,7 +1,9 @@
 #include "serve/query_service.h"
 
 #include <atomic>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "datasets/bibnet.h"
 #include "dist/distributed_topk.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "util/random.h"
 
 namespace rtr::serve {
@@ -343,6 +346,42 @@ TEST(QueryServiceTest, ShutdownWithoutStartCompletesQueuedAsUnavailable) {
                   .ok());
   service.Shutdown();
   EXPECT_EQ(unavailable.load(), 1);  // the accepted callback fired once
+}
+
+// Snapshot-based bring-up: FromGraphFile must serve a snapshot-loaded graph
+// with results identical to a service over the in-memory original.
+TEST(QueryServiceTest, FromGraphFileServesSnapshot) {
+  const Graph& g = SharedNet().graph();
+  const std::string path =
+      testing::TempDir() + "/rtr_query_service_test.rtrsnap";
+  ASSERT_TRUE(SaveGraphSnapshotToFile(g, path).ok());
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  StatusOr<std::unique_ptr<QueryService>> service =
+      QueryService::FromGraphFile(path, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE((*service)->Start().ok());
+
+  NodeId query = MixedQueryStream(g, 1, 1, 17)[0];
+  StatusOr<ServeResponse> response =
+      (*service)->Call({{query}, DefaultParams()});
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  core::TopKResult expected =
+      core::TopKRoundTripRank(g, {query}, DefaultParams()).value();
+  ExpectBitIdentical(response->topk, expected, query);
+  (*service)->Shutdown();
+}
+
+TEST(QueryServiceTest, FromGraphFileRejectsMissingAndCorruptFiles) {
+  ServiceOptions options;
+  EXPECT_FALSE(
+      QueryService::FromGraphFile("/nonexistent/g.rtrsnap", options).ok());
+
+  const std::string path = testing::TempDir() + "/rtr_query_service_bad.txt";
+  std::ofstream(path) << "not a graph at all\n";
+  EXPECT_FALSE(QueryService::FromGraphFile(path, options).ok());
 }
 
 }  // namespace

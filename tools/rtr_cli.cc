@@ -1,6 +1,7 @@
 // rtr — command-line interface to the RoundTripRank library.
 //
 //   rtr generate --dataset bibnet|qlog [--seed N] [--out graph.txt]
+//   rtr convert  <in> <out>
 //   rtr info     --graph graph.txt
 //   rtr rank     --graph graph.txt --query 1,2,3 [--measure rtr|rtr+|f|t]
 //                [--beta 0.5] [--k 10] [--type venue]
@@ -11,11 +12,14 @@
 //                1024] [--backend local|dist] [--gps 4] [--k 10]
 //                [--eps 0.01] [--slo-ms 50] [--repeat 0.5] [--seed 7]
 //
-// Graphs use the text format of graph/io.h; `generate` emits the synthetic
-// datasets used by the benchmark suite. `serve` replays a synthetic QLog
-// query stream (or random queries on a loaded graph) at a target QPS
-// through the concurrent serve::QueryService and reports throughput, tail
-// latency, and cache behavior.
+// Every --graph flag accepts either the text format of graph/io.h or the
+// binary snapshot format of graph/snapshot.h, auto-detected by magic;
+// `convert` translates between the two (a text input becomes a snapshot and
+// vice versa). `generate` emits the synthetic datasets used by the
+// benchmark suite. `serve` replays a synthetic QLog query stream (or random
+// queries on a loaded graph) at a target QPS through the concurrent
+// serve::QueryService and reports throughput, tail latency, and cache
+// behavior.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -37,6 +41,7 @@
 #include "dist/distributed_topk.h"
 #include "eval/experiment.h"
 #include "graph/io.h"
+#include "graph/snapshot.h"
 #include "ranking/combinators.h"
 #include "ranking/pagerank.h"
 #include "serve/query_service.h"
@@ -103,7 +108,7 @@ Graph LoadGraphOrDie(const Flags& flags) {
     std::fprintf(stderr, "missing --graph\n");
     std::exit(2);
   }
-  rtr::StatusOr<Graph> graph = rtr::LoadGraphFromFile(path);
+  rtr::StatusOr<Graph> graph = rtr::LoadGraphAuto(path);
   if (!graph.ok()) {
     std::fprintf(stderr, "cannot load graph: %s\n",
                  graph.status().ToString().c_str());
@@ -147,6 +152,45 @@ int CmdGenerate(const Flags& flags) {
   }
   std::printf("wrote %s: %zu nodes, %zu arcs\n", out.c_str(),
               graph.num_nodes(), graph.num_arcs());
+  return 0;
+}
+
+// `rtr convert <in> <out>`: translates between the text and binary snapshot
+// graph formats. The input format is auto-detected by magic; the output is
+// written in the other format.
+int CmdConvert(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: rtr convert <in> <out>\n");
+    return 2;
+  }
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  rtr::StatusOr<bool> is_snapshot = rtr::IsSnapshotFile(in_path);
+  if (!is_snapshot.ok()) {
+    std::fprintf(stderr, "cannot read input: %s\n",
+                 is_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  rtr::StatusOr<Graph> graph = *is_snapshot
+                                   ? rtr::LoadGraphSnapshotFromFile(in_path)
+                                   : rtr::LoadGraphFromFile(in_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  rtr::Status status = *is_snapshot
+                           ? rtr::SaveGraphToFile(*graph, out_path)
+                           : rtr::SaveGraphSnapshotToFile(*graph, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write graph: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s -> %s: %zu nodes, %zu arcs (%s -> %s)\n", in_path.c_str(),
+              out_path.c_str(), graph->num_nodes(), graph->num_arcs(),
+              *is_snapshot ? "snapshot" : "text",
+              *is_snapshot ? "text" : "snapshot");
   return 0;
 }
 
@@ -427,8 +471,10 @@ int CmdServe(const Flags& flags) {
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: rtr <generate|info|rank|topk|serve> [--flag value "
-               "...]\n"
+               "usage: rtr <generate|convert|info|rank|topk|serve> [--flag "
+               "value ...]\n"
+               "       rtr convert <in> <out>   (text <-> binary snapshot, "
+               "auto-detected)\n"
                "see the header of tools/rtr_cli.cc for details\n");
 }
 
@@ -448,8 +494,11 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return 0;
   }
-  Flags flags(argc, argv, 2);
   std::string command = argv[1];
+  // convert takes positionals, so it must dispatch before the strict
+  // --flag/value parser runs.
+  if (command == "convert") return CmdConvert(argc, argv);
+  Flags flags(argc, argv, 2);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "rank") return CmdRank(flags);
