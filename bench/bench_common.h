@@ -10,6 +10,9 @@
 //   RTR_EFF_QUERIES    — queries per efficiency measurement    (default 30)
 //   RTR_SCALE_PAPERS   — paper count of the "full" BibNet      (default 40000)
 //   RTR_SCALE_CONCEPTS — concept count of the "full" QLog      (default 12000)
+//   RTR_NUM_THREADS    — util::ParallelFor pool width (default: hardware);
+//                        results are bit-identical at any setting, see
+//                        DESIGN.md §7. PrintBanner echoes the active value.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +27,7 @@
 #include "graph/snapshot.h"
 #include "graph/types.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace rtr::bench {
@@ -120,6 +124,8 @@ inline NodeId SampleQueryNode(const Graph& g,
 inline void PrintBanner(const char* experiment, const char* description) {
   std::printf("==============================================================\n");
   std::printf("%s\n%s\n", experiment, description);
+  std::printf("(kernel threads: %d — set RTR_NUM_THREADS to override)\n",
+              rtr::util::NumThreads());
   std::printf("==============================================================\n");
 }
 

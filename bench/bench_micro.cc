@@ -1,14 +1,25 @@
 // Kernel microbenchmarks (google-benchmark): the building blocks behind the
 // paper's query times — CSR construction, power iteration, BCA pushes,
-// Stage-II refinement sweeps, and end-to-end 2SBound.
+// Stage-II refinement sweeps, and end-to-end 2SBound, plus the
+// workspace-arena variants of the online path (DESIGN.md §7).
+//
+// The binary doubles as the allocation-regression gate: alloc_counter.h
+// interposes global operator new, and main() exits non-zero if a
+// steady-state 2SBound query on a warm QueryWorkspace performs any heap
+// allocation (the bench-smoke CI job runs this at 1 and 4 threads).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "alloc_counter.h"
 #include "bench_common.h"
 #include "core/bca.h"
 #include "core/two_stage.h"
 #include "core/twosbound.h"
+#include "core/workspace.h"
 #include "graph/builder.h"
 #include "ranking/pagerank.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace {
@@ -60,6 +71,7 @@ void BM_FRankPowerIteration(benchmark::State& state) {
     std::vector<double> f = rtr::ranking::FRank(g, {0}, params);
     benchmark::DoNotOptimize(f.data());
   }
+  state.counters["threads"] = rtr::util::NumThreads();
 }
 BENCHMARK(BM_FRankPowerIteration);
 
@@ -71,6 +83,7 @@ void BM_TRankPowerIteration(benchmark::State& state) {
     std::vector<double> t = rtr::ranking::TRank(g, {0}, params);
     benchmark::DoNotOptimize(t.data());
   }
+  state.counters["threads"] = rtr::util::NumThreads();
 }
 BENCHMARK(BM_TRankPowerIteration);
 
@@ -85,6 +98,22 @@ void BM_BcaProcessBest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BcaProcessBest);
+
+// Same BCA work through a reused workspace: isolates the arena's win over
+// per-query construction of the dense arrays and heaps.
+void BM_BcaProcessBestWorkspace(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::core::QueryWorkspace ws;
+  for (auto _ : state) {
+    ws.BeginQuery(g.num_nodes());
+    rtr::core::Bca bca(g, {0}, 0.25, &ws);
+    for (int round = 0; round < 20; ++round) {
+      if (bca.ProcessBest(100) == 0) break;
+    }
+    benchmark::DoNotOptimize(bca.total_residual());
+  }
+}
+BENCHMARK(BM_BcaProcessBestWorkspace);
 
 void BM_FBounderExpandRefine(benchmark::State& state) {
   const Graph& g = SharedGraph();
@@ -128,6 +157,108 @@ void BM_TopK2SBound(benchmark::State& state) {
 }
 BENCHMARK(BM_TopK2SBound)->Arg(1)->Arg(3);
 
+// The serving hot path: reused workspace AND result buffers. Reports
+// allocations per query — after warm-up this must be (and on fixed query
+// streams is asserted by main() to be) zero.
+void BM_TopK2SBoundWorkspace(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::core::TopKParams params;
+  params.k = 10;
+  params.epsilon = 0.01 * static_cast<double>(state.range(0));
+  rtr::core::QueryWorkspace ws;
+  rtr::core::TopKResult result;
+  rtr::Query query(1);  // reused: the engine never copies the query
+  // Warm the arena and the result capacity on the query rotation.
+  query[0] = 0;
+  for (int warm = 0; warm < 8; ++warm) {
+    (void)rtr::core::TopKRoundTripRank(g, query, params, ws, &result);
+    query[0] = (query[0] + 37) % static_cast<NodeId>(g.num_nodes());
+  }
+  const uint64_t allocs_before = rtr::bench::AllocCount();
+  uint64_t iterations = 0;
+  query[0] = 0;
+  for (auto _ : state) {
+    rtr::Status status =
+        rtr::core::TopKRoundTripRank(g, query, params, ws, &result);
+    benchmark::DoNotOptimize(status.ok());
+    benchmark::DoNotOptimize(result.entries.size());
+    query[0] = (query[0] + 37) % static_cast<NodeId>(g.num_nodes());
+    ++iterations;
+  }
+  state.counters["allocs_per_query"] =
+      iterations == 0
+          ? 0.0
+          : static_cast<double>(rtr::bench::AllocCount() - allocs_before) /
+                static_cast<double>(iterations);
+}
+BENCHMARK(BM_TopK2SBoundWorkspace)->Arg(1)->Arg(3);
+
+// The exact baseline (kNaive = full FRank/TRank power iteration): the
+// dense path the parallel kernels accelerate. The bench-smoke CI job runs
+// this at RTR_NUM_THREADS=1 and 4 and reports the speedup.
+void BM_TopKNaiveExact(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::core::TopKParams params;
+  params.k = 10;
+  params.scheme = rtr::core::TopKScheme::kNaive;
+  rtr::core::QueryWorkspace ws;
+  rtr::core::TopKResult result;
+  NodeId q = 0;
+  for (auto _ : state) {
+    rtr::Status status =
+        rtr::core::TopKRoundTripRank(g, {q}, params, ws, &result);
+    benchmark::DoNotOptimize(status.ok());
+    q = (q + 37) % static_cast<NodeId>(g.num_nodes());
+  }
+  state.counters["threads"] = rtr::util::NumThreads();
+}
+BENCHMARK(BM_TopKNaiveExact);
+
+// Steady-state allocation audit (the CI gate). Runs a fixed query set once
+// to warm the arena, then replays it and demands zero operator-new calls.
+bool AuditSteadyStateAllocs() {
+  const Graph g = MakeGraph(2000, 8000, 13);
+  rtr::core::TopKParams params;
+  params.k = 10;
+  rtr::core::QueryWorkspace ws;
+  rtr::core::TopKResult result;
+  const NodeId queries[] = {1, 37, 404, 1029, 1777};
+  rtr::Query query(1);  // reused: the engine never copies the query
+  for (NodeId q : queries) {
+    query[0] = q;
+    rtr::Status status =
+        rtr::core::TopKRoundTripRank(g, query, params, ws, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "alloc audit: warm-up query failed: %s\n",
+                   status.ToString().c_str());
+      return false;
+    }
+  }
+  const uint64_t before = rtr::bench::AllocCount();
+  for (NodeId q : queries) {
+    query[0] = q;
+    (void)rtr::core::TopKRoundTripRank(g, query, params, ws, &result);
+  }
+  const uint64_t allocs = rtr::bench::AllocCount() - before;
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state 2SBound made %llu heap allocations "
+                 "over %zu queries (expected 0)\n",
+                 static_cast<unsigned long long>(allocs),
+                 sizeof(queries) / sizeof(queries[0]));
+    return false;
+  }
+  std::printf("alloc audit: steady-state 2SBound allocs/query = 0 [OK]\n");
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  // The audit runs after the benchmarks so a filtered run (e.g. CI's
+  // --benchmark_filter) still enforces the zero-allocation contract.
+  return AuditSteadyStateAllocs() ? 0 : 1;
+}

@@ -7,13 +7,18 @@
 namespace rtr::core {
 
 Bca::Bca(const Graph& g, const Query& query, double alpha)
-    : graph_(g), alpha_(alpha) {
+    : Bca(g, query, alpha, nullptr) {}
+
+Bca::Bca(const Graph& g, const Query& query, double alpha, QueryWorkspace* ws)
+    : graph_(g),
+      alpha_(alpha),
+      owned_ws_(ws == nullptr ? std::make_unique<QueryWorkspace>() : nullptr),
+      ws_(ws == nullptr ? owned_ws_.get() : ws) {
   CHECK_GT(alpha, 0.0);
   CHECK_LT(alpha, 1.0);
   CHECK(!query.empty());
-  rho_.assign(g.num_nodes(), 0.0);
-  mu_.assign(g.num_nodes(), 0.0);
-  in_seen_.assign(g.num_nodes(), false);
+  if (owned_ws_ != nullptr) owned_ws_->BeginQuery(g.num_nodes());
+  CHECK_EQ(ws_->num_nodes(), g.num_nodes());
   double mass = 1.0 / static_cast<double>(query.size());
   for (NodeId q : query) {
     CHECK_LT(q, g.num_nodes());
@@ -23,27 +28,31 @@ Bca::Bca(const Graph& g, const Query& query, double alpha)
 
 double Bca::Benefit(NodeId v) const {
   size_t degree = std::max<size_t>(graph_.out_degree(v), 1);
-  return mu_[v] / static_cast<double>(degree);
+  return ws_->mu[v] / static_cast<double>(degree);
 }
 
 void Bca::AddResidual(NodeId v, double amount) {
-  mu_[v] += amount;
+  double& residual = ws_->mu[v];
+  if (residual == 0.0) ws_->mu_touched.push_back(v);
+  residual += amount;
   total_residual_ += amount;
-  benefit_heap_.push({Benefit(v), v});
-  residual_heap_.push({mu_[v], v});
+  ws_->benefit_heap.Update(v, Benefit(v));
+  ws_->residual_heap.Update(v, residual);
 }
 
 void Bca::Process(NodeId v) {
   DCHECK_LT(v, graph_.num_nodes());
-  double residual = mu_[v];
+  double residual = ws_->mu[v];
   if (residual <= 0.0) return;
-  mu_[v] = 0.0;
+  ws_->mu[v] = 0.0;
+  ws_->benefit_heap.Remove(v);
+  ws_->residual_heap.Remove(v);
   total_residual_ -= residual;
 
-  rho_[v] += alpha_ * residual;
-  if (!in_seen_[v]) {
-    in_seen_[v] = true;
-    seen_.push_back(v);
+  ws_->rho[v] += alpha_ * residual;
+  if (!ws_->bca_in_seen[v]) {
+    ws_->bca_in_seen[v] = 1;
+    ws_->bca_seen.push_back(v);
   }
   // Hot loop: streams only the (target, prob) columns.
   double spread = (1.0 - alpha_) * residual;
@@ -56,50 +65,17 @@ void Bca::Process(NodeId v) {
 
 int Bca::ProcessBest(int m) {
   CHECK_GT(m, 0);
-  // Compact the lazy heaps when stale entries dominate (bounds memory on
-  // long runs): rebuild from the nodes that currently hold residual.
-  const size_t cap =
-      std::max<size_t>(1 << 20, 8 * graph_.num_nodes());
-  if (benefit_heap_.size() > cap || residual_heap_.size() > cap) {
-    std::priority_queue<HeapEntry> fresh_benefit, fresh_residual;
-    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      if (mu_[v] > 0.0) {
-        fresh_benefit.push({Benefit(v), v});
-        fresh_residual.push({mu_[v], v});
-      }
-    }
-    benefit_heap_.swap(fresh_benefit);
-    residual_heap_.swap(fresh_residual);
-  }
+  // The heap is exact (one entry per node, re-keyed in place), so the top
+  // is always the true best benefit and every pop is productive.
   int processed = 0;
-  while (processed < m && !benefit_heap_.empty()) {
-    HeapEntry entry = benefit_heap_.top();
-    benefit_heap_.pop();
-    if (mu_[entry.node] <= 0.0) continue;  // stale: already processed
-    double current = Benefit(entry.node);
-    if (current > entry.priority) {
-      // Stale underestimate (residual grew since the push); a fresher entry
-      // with the grown priority exists, so this one is redundant.
-      continue;
-    }
-    Process(entry.node);
+  while (processed < m && !ws_->benefit_heap.empty()) {
+    Process(ws_->benefit_heap.top());
     ++processed;
   }
   return processed;
 }
 
-double Bca::MaxResidual() {
-  while (!residual_heap_.empty()) {
-    const HeapEntry& top = residual_heap_.top();
-    if (mu_[top.node] > 0.0 && mu_[top.node] == top.priority) {
-      return top.priority;
-    }
-    residual_heap_.pop();  // stale (processed or superseded by a later push)
-  }
-  return 0.0;
-}
-
-double Bca::UnseenUpperBound() {
+double Bca::UnseenUpperBound() const {
   // Eq. 19: alpha/(2-alpha) * max_u mu(u) + (1-alpha)/(2-alpha) * sum_u mu(u).
   double max_mu = MaxResidual();
   return (alpha_ * max_mu + (1.0 - alpha_) * total_residual_) /

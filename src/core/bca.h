@@ -1,9 +1,10 @@
 #ifndef RTR_CORE_BCA_H_
 #define RTR_CORE_BCA_H_
 
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "core/workspace.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -16,17 +17,27 @@ namespace rtr::core {
 // bound of f(q, v) that tightens as residual is pushed (Eq. 20), and the
 // remaining residual mass bounds everything unseen (Prop. 4).
 //
-// Node selection and the max-residual query use lazy max-heaps: every
-// residual update pushes a fresh (priority, node) entry; stale entries are
-// discarded on pop. Since a node's residual only grows between processings,
-// the top valid entry is always present, and total heap work is bounded by
-// the number of residual pushes (= arc traversals).
+// Node selection and the max-residual query use the workspace's
+// position-tracked 4-ary heaps (core::NodeHeap): every residual update
+// re-keys the node in place, so — unlike the former lazy duplicate-push
+// priority_queues — the heaps hold at most one entry per node, pops never
+// skip stale entries, and no periodic compaction is needed.
+//
+// All dense per-query state (rho, mu, seen flags, heap storage) lives in a
+// QueryWorkspace; construct with an external workspace (already
+// BeginQuery'd) for the allocation-free serving path, or without one for
+// tests and one-off drivers (the Bca then owns a private workspace).
 //
 // Multi-node queries place 1/|Q| initial residual on each query node
 // (Linearity Theorem).
 class Bca {
  public:
+  // Owns a private workspace; convenient, but allocates O(num_nodes).
   Bca(const Graph& g, const Query& query, double alpha);
+  // Borrows `ws`, on which the caller must have called
+  // BeginQuery(g.num_nodes()) and not yet run another Bca. A null `ws`
+  // falls back to a private workspace (as the 3-arg form).
+  Bca(const Graph& g, const Query& query, double alpha, QueryWorkspace* ws);
 
   Bca(const Bca&) = delete;
   Bca& operator=(const Bca&) = delete;
@@ -44,20 +55,23 @@ class Bca {
   int ProcessBest(int m);
 
   double alpha() const { return alpha_; }
-  const std::vector<double>& rho() const { return rho_; }
-  const std::vector<double>& mu() const { return mu_; }
+  const std::vector<double>& rho() const { return ws_->rho; }
+  const std::vector<double>& mu() const { return ws_->mu; }
 
   // Total outstanding residual (kept incrementally; asymptotically -> 0).
   double total_residual() const { return total_residual_; }
-  // Maximum single-node residual (lazy-heap lookup, amortized cheap).
-  double MaxResidual();
+  // Maximum single-node residual (heap top; exact, O(1)).
+  double MaxResidual() const {
+    return ws_->residual_heap.empty() ? 0.0
+                                      : ws_->residual_heap.top_priority();
+  }
 
   // Nodes with rho > 0 — the f-neighborhood S_f. Stable insertion order.
-  const std::vector<NodeId>& seen() const { return seen_; }
+  const std::vector<NodeId>& seen() const { return ws_->bca_seen; }
 
   // Unseen upper bound of Prop. 4 (Eq. 19): accounts for residual repeatedly
   // returning to a node, U / (2 - alpha).
-  double UnseenUpperBound();
+  double UnseenUpperBound() const;
 
   // The weaker first-visit-only bound used by the Gupta baseline scheme
   // [16]: all residual mass could still reach any node once, so
@@ -65,25 +79,13 @@ class Bca {
   double GuptaUnseenUpperBound() const { return total_residual_; }
 
  private:
-  struct HeapEntry {
-    double priority;
-    NodeId node;
-    bool operator<(const HeapEntry& other) const {
-      return priority < other.priority;
-    }
-  };
-
   void AddResidual(NodeId v, double amount);
   double Benefit(NodeId v) const;
 
   const Graph& graph_;
   double alpha_;
-  std::vector<double> rho_;
-  std::vector<double> mu_;
-  std::vector<NodeId> seen_;
-  std::vector<bool> in_seen_;
-  std::priority_queue<HeapEntry> benefit_heap_;
-  std::priority_queue<HeapEntry> residual_heap_;
+  std::unique_ptr<QueryWorkspace> owned_ws_;  // only without an external ws
+  QueryWorkspace* ws_;
   double total_residual_ = 0.0;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace rtr::core {
@@ -56,37 +57,56 @@ class RoundTripRankMeasure : public ProximityMeasure {
   std::string name_;
 };
 
-// One vector-matrix step: out[v] = sum_u in[u] * M[u][v] (forward), i.e.,
-// distribution after one more step of the walk.
-std::vector<double> StepForward(const Graph& g,
-                                const std::vector<double>& dist) {
-  std::vector<double> next(dist.size(), 0.0);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    auto sources = g.in_sources(v);
-    auto probs = g.in_probs(v);
-    for (size_t i = 0; i < sources.size(); ++i) {
-      next[v] += probs[i] * dist[sources[i]];
-    }
-  }
-  return next;
-}
-
-// Backward step: out[v] = sum_u M[v][u] * in[u] — probability of reaching a
-// fixed destination set in one more step.
-std::vector<double> StepBackward(const Graph& g,
-                                 const std::vector<double>& prob) {
-  std::vector<double> next(prob.size(), 0.0);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    auto targets = g.out_targets(v);
-    auto probs = g.out_probs(v);
-    for (size_t i = 0; i < targets.size(); ++i) {
-      next[v] += probs[i] * prob[targets[i]];
-    }
-  }
-  return next;
-}
+// Arc mass per chunk of the parallel step kernels (see pagerank.cc).
+constexpr size_t kArcGrain = 1 << 14;
 
 }  // namespace
+
+void StepForwardInto(const Graph& g, const std::vector<double>& dist,
+                     std::vector<double>* next) {
+  CHECK_EQ(dist.size(), g.num_nodes());
+  CHECK(&dist != next);
+  next->resize(dist.size());
+  size_t bounds[util::kMaxChunks + 1];
+  const size_t chunks = util::BalancedChunkBounds(
+      g.in_offsets().data(), g.num_nodes(), kArcGrain, bounds);
+  std::vector<double>& out = *next;
+  util::ParallelForChunks(
+      bounds, chunks, [&](size_t, size_t begin, size_t end) {
+        for (size_t v = begin; v < end; ++v) {
+          auto sources = g.in_sources(static_cast<NodeId>(v));
+          auto probs = g.in_probs(static_cast<NodeId>(v));
+          double sum = 0.0;
+          for (size_t i = 0; i < sources.size(); ++i) {
+            sum += probs[i] * dist[sources[i]];
+          }
+          out[v] = sum;
+        }
+      });
+}
+
+void StepBackwardInto(const Graph& g, const std::vector<double>& prob,
+                      std::vector<double>* next) {
+  CHECK_EQ(prob.size(), g.num_nodes());
+  CHECK(&prob != next);
+  next->resize(prob.size());
+  size_t bounds[util::kMaxChunks + 1];
+  const size_t chunks = util::BalancedChunkBounds(
+      g.out_offsets().data(), g.num_nodes(), kArcGrain, bounds);
+  std::vector<double>& out = *next;
+  util::ParallelForChunks(
+      bounds, chunks, [&](size_t, size_t begin, size_t end) {
+        for (size_t v = begin; v < end; ++v) {
+          auto targets = g.out_targets(static_cast<NodeId>(v));
+          auto probs = g.out_probs(static_cast<NodeId>(v));
+          double sum = 0.0;
+          for (size_t i = 0; i < targets.size(); ++i) {
+            sum += probs[i] * prob[targets[i]];
+          }
+          out[v] = sum;
+        }
+      });
+}
 
 std::unique_ptr<ProximityMeasure> MakeRoundTripRankMeasure(
     std::shared_ptr<FTScorer> scorer) {
@@ -107,13 +127,19 @@ std::vector<double> ConstantLengthRoundTripScores(const Graph& g, NodeId q,
   CHECK_GE(steps_out, 0);
   CHECK_GE(steps_back, 0);
   // Forward: distribution of W_L starting from q.
-  std::vector<double> forward(g.num_nodes(), 0.0);
+  std::vector<double> forward(g.num_nodes(), 0.0), scratch(g.num_nodes());
   forward[q] = 1.0;
-  for (int s = 0; s < steps_out; ++s) forward = StepForward(g, forward);
+  for (int s = 0; s < steps_out; ++s) {
+    StepForwardInto(g, forward, &scratch);
+    forward.swap(scratch);
+  }
   // Backward: probability of being at q after steps_back more steps.
   std::vector<double> backward(g.num_nodes(), 0.0);
   backward[q] = 1.0;
-  for (int s = 0; s < steps_back; ++s) backward = StepBackward(g, backward);
+  for (int s = 0; s < steps_back; ++s) {
+    StepBackwardInto(g, backward, &scratch);
+    backward.swap(scratch);
+  }
 
   std::vector<double> scores(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -38,6 +38,18 @@ std::unique_ptr<ranking::ProximityMeasure> MakeRoundTripRankPlusMeasure(
     std::shared_ptr<ranking::FTScorer> scorer, double beta,
     std::string name = "RoundTripRank+");
 
+// One vector-matrix step of the walk: next[v] = sum_u dist[u] * M[u][v] —
+// the distribution after one more step. `next` is resized to dist.size();
+// it must not alias `dist`. Runs on the util::ParallelFor pool with
+// thread-count-independent results (tests/util/parallel_for_test.cc).
+void StepForwardInto(const Graph& g, const std::vector<double>& dist,
+                     std::vector<double>* next);
+
+// Backward step: next[v] = sum_u M[v][u] * prob[u] — probability of
+// reaching a fixed destination set in one more step.
+void StepBackwardInto(const Graph& g, const std::vector<double>& prob,
+                      std::vector<double>* next);
+
 // Exact target distribution of *constant-length* round trips, as in the
 // paper's toy example (Fig. 4, L = L' = 2):
 //

@@ -2,41 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "util/logging.h"
 
 namespace rtr::core {
-namespace {
-
-std::vector<double> TeleportVector(const Graph& g, const Query& query,
-                                   double alpha) {
-  CHECK(!query.empty());
-  std::vector<double> teleport(g.num_nodes(), 0.0);
-  double mass = alpha / static_cast<double>(query.size());
-  for (NodeId q : query) {
-    CHECK_LT(q, g.num_nodes());
-    teleport[q] += mass;
-  }
-  return teleport;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // FRankBounder
 // ---------------------------------------------------------------------------
 
 FRankBounder::FRankBounder(const Graph& g, const Query& query,
-                           const FBounderOptions& options)
+                           const FBounderOptions& options, QueryWorkspace* ws)
     : graph_(g),
-      query_(query),
       options_(options),
-      bca_(g, query, options.alpha),
-      teleport_(TeleportVector(g, query, options.alpha)),
-      lower_(g.num_nodes(), 0.0),
-      upper_(g.num_nodes(), 1.0) {
+      owned_ws_(ws == nullptr ? std::make_unique<QueryWorkspace>() : nullptr),
+      ws_([&]() -> QueryWorkspace* {
+        if (owned_ws_ == nullptr) return ws;
+        owned_ws_->BeginQuery(g.num_nodes());
+        return owned_ws_.get();
+      }()),
+      bca_(g, query, options.alpha, ws_) {
   CHECK_GT(options.pick_per_expansion, 0);
+  // Builds (or reuses, when the TRankBounder of the same query got there
+  // first) the shared teleport vector alpha * I(q, v) of Eqs. 17-18.
+  ws_->Teleport(query, options.alpha);
 }
 
 bool FRankBounder::Expand() {
@@ -54,8 +43,10 @@ void FRankBounder::InitializeBounds() {
   // the previous unseen upper bound; they inherit it so their individual
   // bound never exceeds the bound that already applied to them.
   const std::vector<NodeId>& seen = bca_.seen();
+  std::vector<double>& lower = ws_->f_lower;
+  std::vector<double>& upper = ws_->f_upper;
   for (size_t i = initialized_count_; i < seen.size(); ++i) {
-    upper_[seen[i]] = std::min(upper_[seen[i]], unseen_upper_);
+    upper[seen[i]] = std::min(upper[seen[i]], unseen_upper_);
   }
   initialized_count_ = seen.size();
 
@@ -64,16 +55,19 @@ void FRankBounder::InitializeBounds() {
   unseen_upper_ = std::min(unseen_upper_, fresh);
   const std::vector<double>& rho = bca_.rho();
   for (NodeId v : seen) {
-    lower_[v] = std::max(lower_[v], rho[v]);
-    upper_[v] = std::min(upper_[v], rho[v] + unseen_upper_);
+    lower[v] = std::max(lower[v], rho[v]);
+    upper[v] = std::min(upper[v], rho[v] + unseen_upper_);
     // Bounds must stay consistent even under fp noise.
-    upper_[v] = std::max(upper_[v], lower_[v]);
+    upper[v] = std::max(upper[v], lower[v]);
   }
 }
 
 void FRankBounder::RefineStage2() {
   const double one_minus_alpha = 1.0 - options_.alpha;
   const std::vector<NodeId>& nodes = bca_.seen();
+  const std::vector<double>& teleport = ws_->teleport;
+  std::vector<double>& lower = ws_->f_lower;
+  std::vector<double>& upper = ws_->f_upper;
   for (int sweep = 0; sweep < options_.max_refine_sweeps; ++sweep) {
     double change = 0.0;
     for (NodeId v : nodes) {
@@ -83,23 +77,23 @@ void FRankBounder::RefineStage2() {
       auto probs = graph_.in_probs(v);
       for (size_t i = 0; i < sources.size(); ++i) {
         if (IsSeen(sources[i])) {
-          lo_sum += probs[i] * lower_[sources[i]];
-          up_sum += probs[i] * upper_[sources[i]];
+          lo_sum += probs[i] * lower[sources[i]];
+          up_sum += probs[i] * upper[sources[i]];
         } else {
           up_sum += probs[i] * unseen_upper_;
         }
       }
-      double lo = teleport_[v] + one_minus_alpha * lo_sum;
-      double up = teleport_[v] + one_minus_alpha * up_sum;
-      if (lo > lower_[v]) {
-        change += lo - lower_[v];
-        lower_[v] = lo;
+      double lo = teleport[v] + one_minus_alpha * lo_sum;
+      double up = teleport[v] + one_minus_alpha * up_sum;
+      if (lo > lower[v]) {
+        change += lo - lower[v];
+        lower[v] = lo;
       }
-      if (up < upper_[v]) {
-        change += upper_[v] - up;
-        upper_[v] = up;
+      if (up < upper[v]) {
+        change += upper[v] - up;
+        upper[v] = up;
       }
-      if (upper_[v] < lower_[v]) upper_[v] = lower_[v];  // fp guard
+      if (upper[v] < lower[v]) upper[v] = lower[v];  // fp guard
     }
     if (change < options_.refine_tolerance) break;
   }
@@ -110,76 +104,87 @@ void FRankBounder::RefineStage2() {
 // ---------------------------------------------------------------------------
 
 TRankBounder::TRankBounder(const Graph& g, const Query& query,
-                           const TBounderOptions& options)
+                           const TBounderOptions& options, QueryWorkspace* ws)
     : graph_(g),
-      query_(query),
       options_(options),
-      in_seen_(g.num_nodes(), false),
-      teleport_(TeleportVector(g, query, options.alpha)),
-      lower_(g.num_nodes(), 0.0),
-      upper_(g.num_nodes(), 1.0),
-      unseen_in_count_(g.num_nodes(), 0) {
+      owned_ws_(ws == nullptr ? std::make_unique<QueryWorkspace>() : nullptr),
+      ws_([&]() -> QueryWorkspace* {
+        if (owned_ws_ == nullptr) return ws;
+        owned_ws_->BeginQuery(g.num_nodes());
+        return owned_ws_.get();
+      }()) {
   CHECK_GT(options.pick_per_expansion, 0);
+  CHECK_EQ(ws_->num_nodes(), g.num_nodes());
+  const std::vector<double>& teleport = ws_->Teleport(query, options.alpha);
   // Stage I, first expansion (Sect. V-A3): S_t = {q}, lower = alpha * I,
   // upper = 1, unseen upper via Eq. 22.
-  for (NodeId q : query_) {
-    if (in_seen_[q]) continue;
-    in_seen_[q] = true;
-    seen_.push_back(q);
-    lower_[q] = teleport_[q];
+  for (NodeId q : query) {
+    CHECK_LT(q, g.num_nodes());
+    if (ws_->t_in_seen[q]) continue;
+    ws_->t_in_seen[q] = 1;
+    ws_->t_seen.push_back(q);
+    ws_->t_lower[q] = teleport[q];
   }
-  for (NodeId q : seen_) {
+  for (NodeId q : ws_->t_seen) {
     int outside = 0;
     for (NodeId source : graph_.in_sources(q)) {
-      if (!in_seen_[source]) ++outside;
+      if (!ws_->t_in_seen[source]) ++outside;
     }
-    unseen_in_count_[q] = outside;
+    ws_->t_unseen_in[q] = outside;
     if (outside > 0) {
       ++border_count_;
-      border_list_.push_back(q);
+      ws_->t_border.push_back(q);
     }
   }
   RecomputeUnseenUpper();
 }
 
 void TRankBounder::AddNode(NodeId v, double upper_init) {
-  DCHECK(!in_seen_[v]);
-  in_seen_[v] = true;
-  seen_.push_back(v);
-  lower_[v] = teleport_[v] > 0.0 ? teleport_[v] : 0.0;
-  upper_[v] = upper_init;
+  DCHECK(!ws_->t_in_seen[v]);
+  ws_->t_in_seen[v] = 1;
+  ws_->t_seen.push_back(v);
+  ws_->t_lower[v] = ws_->teleport[v] > 0.0 ? ws_->teleport[v] : 0.0;
+  ws_->t_upper[v] = upper_init;
 }
 
 void TRankBounder::CompactBorderList() {
   // Border membership is monotone: once unseen_in_count hits zero it stays
   // zero, so stale entries can simply be dropped.
+  std::vector<NodeId>& border = ws_->t_border;
   size_t keep = 0;
-  for (NodeId v : border_list_) {
-    if (unseen_in_count_[v] > 0) border_list_[keep++] = v;
+  for (NodeId v : border) {
+    if (ws_->t_unseen_in[v] > 0) border[keep++] = v;
   }
-  border_list_.resize(keep);
+  border.resize(keep);
 }
 
 bool TRankBounder::Expand() {
   if (border_count_ == 0) return false;
   CompactBorderList();
-  DCHECK_EQ(border_list_.size(), border_count_);
+  std::vector<NodeId>& border = ws_->t_border;
+  DCHECK_EQ(border.size(), border_count_);
 
   // Pick up to m border nodes with the largest upper bounds.
+  const std::vector<double>& upper = ws_->t_upper;
   size_t count =
-      std::min<size_t>(options_.pick_per_expansion, border_list_.size());
+      std::min<size_t>(options_.pick_per_expansion, border.size());
   std::partial_sort(
-      border_list_.begin(), border_list_.begin() + count, border_list_.end(),
-      [this](NodeId a, NodeId b) { return upper_[a] > upper_[b]; });
-  std::vector<NodeId> picked(border_list_.begin(),
-                             border_list_.begin() + count);
+      border.begin(), border.begin() + count, border.end(),
+      [&upper](NodeId a, NodeId b) { return upper[a] > upper[b]; });
+  std::vector<NodeId>& picked = ws_->t_picked;
+  picked.assign(border.begin(), border.begin() + count);
 
-  // Bring all in-neighbors of the picked border nodes into S_t.
-  std::vector<NodeId> fresh;
-  std::unordered_set<NodeId> pending;
+  // Bring all in-neighbors of the picked border nodes into S_t. The
+  // workspace's stamped flags dedup nodes reachable through several picked
+  // borders (epoch bump instead of clearing a hash set).
+  std::vector<NodeId>& fresh = ws_->t_fresh;
+  fresh.clear();
+  StampedFlags& pending = ws_->t_pending;
+  pending.NewEpoch();
   for (NodeId b : picked) {
     for (NodeId source : graph_.in_sources(b)) {
-      if (!in_seen_[source] && pending.insert(source).second) {
+      if (!ws_->t_in_seen[source] && !pending.Test(source)) {
+        pending.Set(source);
         fresh.push_back(source);
       }
     }
@@ -188,8 +193,8 @@ bool TRankBounder::Expand() {
   // newly seen in-neighbor.
   for (NodeId u : fresh) {
     for (NodeId target : graph_.out_targets(u)) {
-      if (in_seen_[target]) {
-        if (--unseen_in_count_[target] == 0) --border_count_;
+      if (ws_->t_in_seen[target]) {
+        if (--ws_->t_unseen_in[target] == 0) --border_count_;
       }
     }
   }
@@ -198,12 +203,12 @@ bool TRankBounder::Expand() {
   for (NodeId u : fresh) {
     int outside = 0;
     for (NodeId source : graph_.in_sources(u)) {
-      if (!in_seen_[source]) ++outside;
+      if (!ws_->t_in_seen[source]) ++outside;
     }
-    unseen_in_count_[u] = outside;
+    ws_->t_unseen_in[u] = outside;
     if (outside > 0) {
       ++border_count_;
-      border_list_.push_back(u);
+      border.push_back(u);
     }
   }
   return true;
@@ -216,32 +221,37 @@ void TRankBounder::Refine() {
 
 void TRankBounder::RefineSweeps(int sweeps) {
   const double one_minus_alpha = 1.0 - options_.alpha;
+  const std::vector<NodeId>& nodes = ws_->t_seen;
+  const std::vector<double>& teleport = ws_->teleport;
+  const std::vector<uint8_t>& in_seen = ws_->t_in_seen;
+  std::vector<double>& lower = ws_->t_lower;
+  std::vector<double>& upper = ws_->t_upper;
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     double change = 0.0;
-    for (NodeId v : seen_) {
+    for (NodeId v : nodes) {
       double lo_sum = 0.0;
       double up_sum = 0.0;
       auto targets = graph_.out_targets(v);
       auto probs = graph_.out_probs(v);
       for (size_t i = 0; i < targets.size(); ++i) {
-        if (in_seen_[targets[i]]) {
-          lo_sum += probs[i] * lower_[targets[i]];
-          up_sum += probs[i] * upper_[targets[i]];
+        if (in_seen[targets[i]]) {
+          lo_sum += probs[i] * lower[targets[i]];
+          up_sum += probs[i] * upper[targets[i]];
         } else {
           up_sum += probs[i] * unseen_upper_;
         }
       }
-      double lo = teleport_[v] + one_minus_alpha * lo_sum;
-      double up = teleport_[v] + one_minus_alpha * up_sum;
-      if (lo > lower_[v]) {
-        change += lo - lower_[v];
-        lower_[v] = lo;
+      double lo = teleport[v] + one_minus_alpha * lo_sum;
+      double up = teleport[v] + one_minus_alpha * up_sum;
+      if (lo > lower[v]) {
+        change += lo - lower[v];
+        lower[v] = lo;
       }
-      if (up < upper_[v]) {
-        change += upper_[v] - up;
-        upper_[v] = up;
+      if (up < upper[v]) {
+        change += upper[v] - up;
+        upper[v] = up;
       }
-      if (upper_[v] < lower_[v]) upper_[v] = lower_[v];  // fp guard
+      if (upper[v] < lower[v]) upper[v] = lower[v];  // fp guard
     }
     RecomputeUnseenUpper();
     if (change < options_.refine_tolerance) break;
@@ -256,8 +266,8 @@ void TRankBounder::RecomputeUnseenUpper() {
     return;
   }
   double best = 0.0;
-  for (NodeId v : border_list_) {
-    if (unseen_in_count_[v] > 0) best = std::max(best, upper_[v]);
+  for (NodeId v : ws_->t_border) {
+    if (ws_->t_unseen_in[v] > 0) best = std::max(best, ws_->t_upper[v]);
   }
   double fresh = (1.0 - options_.alpha) * best;
   unseen_upper_ = std::min(unseen_upper_, fresh);

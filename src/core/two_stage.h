@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/bca.h"
+#include "core/workspace.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -21,6 +22,13 @@ namespace rtr::core {
 //    therefore calls it only when it is about to evaluate the top-K
 //    conditions. Bounds are valid at all times — skipping refinement only
 //    leaves them looser (never wrong).
+//
+// All dense per-query state (teleport, lower/upper bound arrays, seen
+// flags, the border list) lives in a QueryWorkspace. Both bounders of one
+// query share a single workspace (their arrays are disjoint, the teleport
+// vector is shared); construct them with the same external workspace for
+// the allocation-free serving path, or without one for tests (each bounder
+// then owns a private workspace).
 //
 // The baseline schemes of Fig. 11 are expressed through the options:
 //  * Gupta  — F-side: first-visit residual bound instead of Prop. 4, and no
@@ -47,7 +55,12 @@ struct FBounderOptions {
 class FRankBounder {
  public:
   FRankBounder(const Graph& g, const Query& query,
-               const FBounderOptions& options);
+               const FBounderOptions& options)
+      : FRankBounder(g, query, options, nullptr) {}
+  // Borrows `ws` (the caller must have called BeginQuery(g.num_nodes()));
+  // null falls back to a private workspace.
+  FRankBounder(const Graph& g, const Query& query,
+               const FBounderOptions& options, QueryWorkspace* ws);
 
   FRankBounder(const FRankBounder&) = delete;
   FRankBounder& operator=(const FRankBounder&) = delete;
@@ -74,12 +87,12 @@ class FRankBounder {
   const std::vector<NodeId>& seen() const { return bca_.seen(); }
   // A node counts as seen once its bounds have been initialized (i.e.,
   // after the Refine following its first BCA touch).
-  bool IsSeen(NodeId v) const { return lower_[v] > 0.0; }
+  bool IsSeen(NodeId v) const { return ws_->f_lower[v] > 0.0; }
 
-  double Lower(NodeId v) const { return lower_[v]; }
+  double Lower(NodeId v) const { return ws_->f_lower[v]; }
   // Individual bound for seen nodes; the unseen bound otherwise.
   double Upper(NodeId v) const {
-    return IsSeen(v) ? upper_[v] : unseen_upper_;
+    return IsSeen(v) ? ws_->f_upper[v] : unseen_upper_;
   }
   double UnseenUpper() const { return unseen_upper_; }
 
@@ -88,12 +101,10 @@ class FRankBounder {
   void RefineStage2();
 
   const Graph& graph_;
-  Query query_;
   FBounderOptions options_;
+  std::unique_ptr<QueryWorkspace> owned_ws_;
+  QueryWorkspace* ws_;
   Bca bca_;
-  std::vector<double> teleport_;  // alpha * I(q, v) term of Eqs. 17-18
-  std::vector<double> lower_;
-  std::vector<double> upper_;
   double unseen_upper_ = 1.0;
   // Number of seen nodes whose upper bound has been initialized.
   size_t initialized_count_ = 0;
@@ -118,7 +129,12 @@ struct TBounderOptions {
 class TRankBounder {
  public:
   TRankBounder(const Graph& g, const Query& query,
-               const TBounderOptions& options);
+               const TBounderOptions& options)
+      : TRankBounder(g, query, options, nullptr) {}
+  // Borrows `ws` (the caller must have called BeginQuery(g.num_nodes()));
+  // null falls back to a private workspace.
+  TRankBounder(const Graph& g, const Query& query,
+               const TBounderOptions& options, QueryWorkspace* ws);
 
   TRankBounder(const TRankBounder&) = delete;
   TRankBounder& operator=(const TRankBounder&) = delete;
@@ -139,17 +155,17 @@ class TRankBounder {
   // True when no node outside S_t can reach the query.
   bool closed() const { return border_count_ == 0; }
 
-  const std::vector<NodeId>& seen() const { return seen_; }
-  bool IsSeen(NodeId v) const { return in_seen_[v]; }
+  const std::vector<NodeId>& seen() const { return ws_->t_seen; }
+  bool IsSeen(NodeId v) const { return ws_->t_in_seen[v] != 0; }
 
-  double Lower(NodeId v) const { return in_seen_[v] ? lower_[v] : 0.0; }
+  double Lower(NodeId v) const { return IsSeen(v) ? ws_->t_lower[v] : 0.0; }
   double Upper(NodeId v) const {
-    return in_seen_[v] ? upper_[v] : unseen_upper_;
+    return IsSeen(v) ? ws_->t_upper[v] : unseen_upper_;
   }
   double UnseenUpper() const { return unseen_upper_; }
 
   bool IsBorder(NodeId v) const {
-    return in_seen_[v] && unseen_in_count_[v] > 0;
+    return IsSeen(v) && ws_->t_unseen_in[v] > 0;
   }
 
  private:
@@ -159,19 +175,11 @@ class TRankBounder {
   void RecomputeUnseenUpper();
 
   const Graph& graph_;
-  Query query_;
   TBounderOptions options_;
-  std::vector<NodeId> seen_;
-  std::vector<bool> in_seen_;
-  std::vector<double> teleport_;
-  std::vector<double> lower_;
-  std::vector<double> upper_;
-  // Number of in-neighbors outside S_t; > 0 marks a border node (Eq. 22).
-  std::vector<int> unseen_in_count_;
-  // Superset of the border (lazy deletion; membership is monotone).
-  std::vector<NodeId> border_list_;
-  size_t border_count_ = 0;
+  std::unique_ptr<QueryWorkspace> owned_ws_;
+  QueryWorkspace* ws_;
   double unseen_upper_ = 1.0;
+  size_t border_count_ = 0;
 };
 
 }  // namespace rtr::core

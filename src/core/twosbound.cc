@@ -31,11 +31,21 @@ TBounderOptions MakeTOptions(const TopKParams& params) {
   return options;
 }
 
-TopKResult NaiveTopK(const Graph& g, const Query& query,
-                     const TopKParams& params) {
-  std::vector<double> scores =
-      ExactRoundTripRankScores(g, query, params.alpha);
-  std::vector<NodeId> ids(g.num_nodes());
+// Exact top-K through the workspace's reusable power-iteration buffers.
+void NaiveTopKInto(const Graph& g, const Query& query,
+                   const TopKParams& params, QueryWorkspace& ws,
+                   TopKResult* result) {
+  ranking::WalkParams walk;
+  walk.alpha = params.alpha;
+  ranking::FRankInto(g, query, walk, &ws.exact_f, &ws.exact_scratch);
+  ranking::TRankInto(g, query, walk, &ws.exact_t, &ws.exact_scratch);
+  std::vector<double>& scores = ws.exact_scores;
+  scores.resize(g.num_nodes());
+  for (size_t v = 0; v < scores.size(); ++v) {
+    scores[v] = ws.exact_f[v] * ws.exact_t[v];
+  }
+  std::vector<NodeId>& ids = ws.exact_ids;
+  ids.resize(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) ids[v] = v;
   size_t keep = std::min<size_t>(params.k, ids.size());
   std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
@@ -43,24 +53,15 @@ TopKResult NaiveTopK(const Graph& g, const Query& query,
                       if (scores[a] != scores[b]) return scores[a] > scores[b];
                       return a < b;
                     });
-  TopKResult result;
-  result.converged = true;
+  result->converged = true;
   for (size_t i = 0; i < keep; ++i) {
-    result.entries.push_back({ids[i], scores[ids[i]], scores[ids[i]]});
+    result->entries.push_back({ids[i], scores[ids[i]], scores[ids[i]]});
   }
   // The naive method's working set is the whole graph.
-  result.active_nodes = g.num_nodes();
-  result.active_arcs = g.num_arcs();
-  result.active_set_bytes = g.MemoryBytes();
-  return result;
+  result->active_nodes = g.num_nodes();
+  result->active_arcs = g.num_arcs();
+  result->active_set_bytes = g.MemoryBytes();
 }
-
-// Candidate with current RoundTripRank bounds.
-struct Candidate {
-  NodeId node;
-  double lower;
-  double upper;
-};
 
 }  // namespace
 
@@ -94,6 +95,21 @@ std::vector<double> ExactRoundTripRankScores(const Graph& g,
 
 StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
                                        const TopKParams& params) {
+  QueryWorkspace ws;
+  return TopKRoundTripRank(g, query, params, ws);
+}
+
+StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
+                                       const TopKParams& params,
+                                       QueryWorkspace& ws) {
+  TopKResult result;
+  RTR_RETURN_IF_ERROR(TopKRoundTripRank(g, query, params, ws, &result));
+  return result;
+}
+
+Status TopKRoundTripRank(const Graph& g, const Query& query,
+                         const TopKParams& params, QueryWorkspace& ws,
+                         TopKResult* result) {
   if (params.k <= 0) return Status::InvalidArgument("k must be positive");
   if (params.epsilon < 0.0) {
     return Status::InvalidArgument("epsilon must be non-negative");
@@ -107,22 +123,25 @@ StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
       return Status::InvalidArgument("query node out of range");
     }
   }
+  result->Clear();
+  ws.BeginQuery(g.num_nodes());
   if (params.scheme == TopKScheme::kNaive) {
-    return NaiveTopK(g, query, params);
+    NaiveTopKInto(g, query, params, ws, result);
+    return Status::OK();
   }
 
-  FRankBounder f_bounder(g, query, MakeFOptions(params));
-  TRankBounder t_bounder(g, query, MakeTOptions(params));
+  FRankBounder f_bounder(g, query, MakeFOptions(params), &ws);
+  TRankBounder t_bounder(g, query, MakeTOptions(params), &ws);
   const size_t k = static_cast<size_t>(params.k);
 
-  TopKResult result;
-  std::vector<Candidate> candidates;
+  using Candidate = QueryWorkspace::Candidate;
+  std::vector<Candidate>& candidates = ws.candidates;
   // Checking the top-K conditions costs O(|S_f| + |S_t|); schemes with weak
   // bounds can need thousands of expansion rounds, so checks back off
   // geometrically instead of running every round.
   int next_check = 1;
   for (int round = 1; round <= params.max_rounds; ++round) {
-    result.rounds = round;
+    result->rounds = round;
     // Stage I on both sides every round (cheap, amortized O(new work)).
     bool f_progress = f_bounder.Expand();
     bool t_progress = t_bounder.Expand();
@@ -190,10 +209,10 @@ StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
         }
       }
       if ((ok && enough) || exhausted) {
-        result.converged = ok || exhausted;
+        result->converged = ok || exhausted;
         size_t out = std::min(k, candidates.size());
         for (size_t i = 0; i < out; ++i) {
-          result.entries.push_back(
+          result->entries.push_back(
               {candidates[i].node, candidates[i].lower, candidates[i].upper});
         }
         break;
@@ -203,29 +222,31 @@ StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
       // Out of budget: report the current best effort, unconverged.
       size_t out = std::min(k, candidates.size());
       for (size_t i = 0; i < out; ++i) {
-        result.entries.push_back(
+        result->entries.push_back(
             {candidates[i].node, candidates[i].lower, candidates[i].upper});
       }
     }
   }
 
   // Active set accounting (Sect. V-B1): nodes of either neighborhood plus
-  // their incident arcs.
-  std::vector<bool> active(g.num_nodes(), false);
-  for (NodeId v : f_bounder.seen()) active[v] = true;
-  for (NodeId v : t_bounder.seen()) active[v] = true;
-  size_t nodes = 0, arcs = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (!active[v]) continue;
-    ++nodes;
+  // their incident arcs. Sorted union of the two seen lists — O(s log s) in
+  // the active-set size instead of the former O(num_nodes) scan.
+  std::vector<NodeId>& active = ws.active_scratch;
+  active.assign(f_bounder.seen().begin(), f_bounder.seen().end());
+  active.insert(active.end(), t_bounder.seen().begin(),
+                t_bounder.seen().end());
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+  size_t arcs = 0;
+  for (NodeId v : active) {
     arcs += g.out_degree(v) + g.in_degree(v);
-    result.active_node_ids.push_back(v);
+    result->active_node_ids.push_back(v);
   }
-  result.active_nodes = nodes;
-  result.active_arcs = arcs;
-  result.active_set_bytes =
-      nodes * kActiveNodeRecordBytes + arcs * kActiveArcRecordBytes;
-  return result;
+  result->active_nodes = active.size();
+  result->active_arcs = arcs;
+  result->active_set_bytes = active.size() * kActiveNodeRecordBytes +
+                             arcs * kActiveArcRecordBytes;
+  return Status::OK();
 }
 
 }  // namespace rtr::core

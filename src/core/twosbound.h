@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/two_stage.h"
+#include "core/workspace.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "util/status.h"
@@ -67,22 +68,50 @@ struct TopKResult {
   // The active nodes themselves, in id order (consumed by the distributed
   // AP/GP replay, Sect. V-B2).
   std::vector<NodeId> active_node_ids;
+
+  // Resets to the default state, KEEPING vector capacity — the reuse hook
+  // of the allocation-free serving path.
+  void Clear() {
+    entries.clear();
+    converged = false;
+    rounds = 0;
+    active_nodes = 0;
+    active_arcs = 0;
+    active_set_bytes = 0;
+    active_node_ids.clear();
+  }
 };
 
 // Runs the requested top-K scheme for RoundTripRank r(q, v) ∝ f(q, v)t(q, v).
 // kNaive computes exact scores iteratively; all other schemes run
 // branch-and-bound neighborhood expansion with the scheme's bound updates.
 //
-// Thread safety: pure with respect to `g` — the bounders and every other
-// piece of per-query state live on this call's stack, and the Graph is only
-// read. Concurrent calls over one shared Graph are safe and return results
-// bit-identical to serial execution (audited for serve::QueryService; the
-// determinism is also what makes cached results transparent).
+// Thread safety: pure with respect to `g` — every piece of per-query state
+// lives in the caller's workspace (or a call-local one), and the Graph is
+// only read. Concurrent calls over one shared Graph are safe and return
+// results bit-identical to serial execution (audited for
+// serve::QueryService; the determinism is also what makes cached results
+// transparent). Workspace reuse never changes results: a steady-state query
+// on a warm workspace is bit-identical to a fresh-workspace run AND
+// performs zero heap allocations (asserted by bench_micro).
+//
+// The three forms trade convenience for allocation control:
+//  * (g, query, params)            — call-local workspace, fresh result.
+//  * (g, query, params, ws)        — reused workspace, fresh result.
+//  * (g, query, params, ws, out)   — reused workspace AND result buffers;
+//                                    the zero-allocation serving hot path.
 StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
                                        const TopKParams& params);
+StatusOr<TopKResult> TopKRoundTripRank(const Graph& g, const Query& query,
+                                       const TopKParams& params,
+                                       QueryWorkspace& ws);
+Status TopKRoundTripRank(const Graph& g, const Query& query,
+                         const TopKParams& params, QueryWorkspace& ws,
+                         TopKResult* result);
 
 // Exact RoundTripRank scores (f * t) by full iterative computation — the
-// reference ranking for approximation-quality metrics.
+// reference ranking for approximation-quality metrics. The power-iteration
+// kernels run on the util::ParallelFor pool.
 std::vector<double> ExactRoundTripRankScores(const Graph& g,
                                              const Query& query,
                                              double alpha = 0.25);

@@ -122,7 +122,7 @@ Status ValidateRecord(const Graph& g, const NodeRecord& record) {
 
 StatusOr<DistributedTopKResult> DistributedTopK(
     const Cluster& cluster, const Query& query,
-    const core::TopKParams& params) {
+    const core::TopKParams& params, core::QueryWorkspace* workspace) {
   const Graph& g = cluster.graph();
   WallTimer timer;
 
@@ -134,8 +134,11 @@ StatusOr<DistributedTopKResult> DistributedTopK(
   }
 
   // The AP runs 2SBound; every node id in active_node_ids is a record it had
-  // to pull from the owning GP while expanding the two neighborhoods.
-  StatusOr<core::TopKResult> local = core::TopKRoundTripRank(g, query, params);
+  // to pull from the owning GP while expanding the two neighborhoods. The
+  // caller's workspace (when provided) makes the run allocation-free.
+  core::QueryWorkspace local_ws;
+  StatusOr<core::TopKResult> local = core::TopKRoundTripRank(
+      g, query, params, workspace != nullptr ? *workspace : local_ws);
   if (!local.ok()) return local.status();
 
   // Replay the active set as batched per-GP fetches.

@@ -151,9 +151,14 @@ inline constexpr size_t kMaxRecordsPerRequest = 256;
 // Thread safety: the cluster is only read and all per-query state is local,
 // so concurrent calls over one Cluster are safe (see core/twosbound.h for
 // the underlying engine's guarantee).
-StatusOr<DistributedTopKResult> DistributedTopK(const Cluster& cluster,
-                                                const Query& query,
-                                                const core::TopKParams& params);
+//
+// `workspace` (optional) is the AP's reusable per-query arena for the
+// embedded 2SBound run; null falls back to a call-local workspace. A shared
+// workspace must not be used from two threads at once.
+StatusOr<DistributedTopKResult> DistributedTopK(
+    const Cluster& cluster, const Query& query,
+    const core::TopKParams& params,
+    core::QueryWorkspace* workspace = nullptr);
 
 }  // namespace rtr::dist
 

@@ -1,9 +1,11 @@
 #include "ranking/escape.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace rtr::ranking {
@@ -22,30 +24,30 @@ class EscapeProbabilityMeasure : public ProximityMeasure {
   std::vector<double> Score(const Query& query) override {
     CHECK(!query.empty());
     const size_t n = graph_.num_nodes();
+    for (NodeId q : query) CHECK_LT(q, n);
+    // Each query node's walk bundle is independent (its RNG stream is
+    // query-derived), so bundles run on the util::ParallelFor pool. Waves
+    // bound the transient memory to kWave O(n) bundles (not O(|Q|)), and
+    // accumulation stays in query order within and across waves, keeping
+    // scores bit-identical to the sequential evaluation at any thread
+    // count or wave size.
+    constexpr size_t kWave = 16;
+    std::vector<std::vector<double>> hits(std::min(kWave, query.size()));
     std::vector<double> scores(n, 0.0);
-    std::vector<int> last_walk(n, -1);  // visited marker per walk id
-    for (NodeId q : query) {
-      CHECK_LT(q, n);
-      // Query-derived seed: results are independent of evaluation order.
-      Rng rng(params_.seed ^ (0x9e3779b97f4a7c15ULL * (q + 1)));
-      std::vector<double> hits(n, 0.0);
-      for (int walk = 0; walk < params_.num_walks; ++walk) {
-        NodeId current = q;
-        for (int step = 0; step < params_.max_steps; ++step) {
-          if (graph_.out_degree(current) == 0) break;  // the walk dies
-          current = graph_.SampleOutNeighbor(current, rng.NextDouble());
-          if (current == q) break;  // returned before visiting more nodes
-          if (last_walk[current] != walk) {
-            last_walk[current] = walk;
-            hits[current] += 1.0;
-          }
+    for (size_t wave = 0; wave < query.size(); wave += kWave) {
+      const size_t count = std::min(kWave, query.size() - wave);
+      util::ParallelFor(count, 1, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i] = WalkHits(query[wave + i]);
         }
+      });
+      for (size_t i = 0; i < count; ++i) {
+        for (size_t v = 0; v < n; ++v) {
+          scores[v] += hits[i][v] / params_.num_walks;
+        }
+        scores[query[wave + i]] += 1.0;  // esc(q, q) = 1 by convention
+        std::vector<double>().swap(hits[i]);  // release the bundle
       }
-      for (size_t v = 0; v < n; ++v) {
-        scores[v] += hits[v] / params_.num_walks;
-      }
-      scores[q] += 1.0;  // esc(q, q) = 1 by convention
-      std::fill(last_walk.begin(), last_walk.end(), -1);
     }
     double norm = 1.0 / static_cast<double>(query.size());
     for (double& s : scores) s *= norm;
@@ -53,6 +55,29 @@ class EscapeProbabilityMeasure : public ProximityMeasure {
   }
 
  private:
+  // One bundle of num_walks walks from q: the visited-before-first-return
+  // counts for every node.
+  std::vector<double> WalkHits(NodeId q) const {
+    const size_t n = graph_.num_nodes();
+    // Query-derived seed: results are independent of evaluation order.
+    Rng rng(params_.seed ^ (0x9e3779b97f4a7c15ULL * (q + 1)));
+    std::vector<double> hits(n, 0.0);
+    std::vector<int> last_walk(n, -1);  // visited marker per walk id
+    for (int walk = 0; walk < params_.num_walks; ++walk) {
+      NodeId current = q;
+      for (int step = 0; step < params_.max_steps; ++step) {
+        if (graph_.out_degree(current) == 0) break;  // the walk dies
+        current = graph_.SampleOutNeighbor(current, rng.NextDouble());
+        if (current == q) break;  // returned before visiting more nodes
+        if (last_walk[current] != walk) {
+          last_walk[current] = walk;
+          hits[current] += 1.0;
+        }
+      }
+    }
+    return hits;
+  }
+
   const Graph& graph_;
   EscapeParams params_;
   std::string name_ = "EscapeProbability";

@@ -3,75 +3,121 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace rtr::ranking {
 namespace {
 
-// Start distribution: uniform over the query nodes.
-std::vector<double> StartVector(const Graph& g, const Query& query) {
+// Arc mass per chunk of the parallel power-iteration kernels: coarse
+// enough that a chunk amortizes the pool's wake-up, fine enough to load-
+// balance skewed degree distributions.
+constexpr size_t kArcGrain = 1 << 14;
+
+void CheckQuery(const Graph& g, const Query& query,
+                const std::vector<double>* out,
+                const std::vector<double>* scratch) {
   CHECK(!query.empty()) << "empty query";
-  std::vector<double> e(g.num_nodes(), 0.0);
-  double mass = 1.0 / static_cast<double>(query.size());
-  for (NodeId q : query) {
-    CHECK_LT(q, g.num_nodes());
-    e[q] += mass;
-  }
-  return e;
+  for (NodeId q : query) CHECK_LT(q, g.num_nodes());
+  CHECK(out != scratch) << "out and scratch must be distinct buffers";
 }
 
-double L1Diff(const std::vector<double>& a, const std::vector<double>& b) {
-  double d = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
-  return d;
+// One power iteration to convergence. `Pull(v)` must return
+// sum_u M-prob * x[u] over the pulled adjacency of v; `offsets` is that
+// adjacency's offsets column (chunk balancing). Writes the result into
+// *out using *scratch as the ping-pong buffer.
+//
+// Determinism: chunk bounds depend only on (offsets, kArcGrain); each chunk
+// writes its own index range and one partial-diff slot, and the partials
+// are reduced in chunk order — so the result is bit-identical at any
+// thread count.
+template <typename PullFn>
+void PowerIterate(const Graph& g, const Query& query,
+                  const WalkParams& params, std::span<const size_t> offsets,
+                  std::vector<double>* out, std::vector<double>* scratch,
+                  const PullFn& pull) {
+  const size_t n = g.num_nodes();
+  const double mass = 1.0 / static_cast<double>(query.size());
+  const double teleport = params.alpha * mass;
+
+  std::vector<double>& x = *out;
+  std::vector<double>& next = *scratch;
+  x.assign(n, 0.0);
+  next.assign(n, 0.0);
+  for (NodeId q : query) x[q] += teleport;  // x0 = alpha * e_q
+
+  size_t bounds[util::kMaxChunks + 1];
+  const size_t chunks =
+      util::BalancedChunkBounds(offsets.data(), n, kArcGrain, bounds);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    double partial[util::kMaxChunks];
+    util::ParallelForChunks(
+        bounds, chunks, [&](size_t chunk, size_t begin, size_t end) {
+          for (size_t v = begin; v < end; ++v) {
+            next[v] = (1.0 - params.alpha) * pull(x, static_cast<NodeId>(v));
+          }
+          // Teleport lands inside the owning chunk so the L1 diff below
+          // sees final values in one pass.
+          for (NodeId q : query) {
+            if (q >= begin && q < end) next[q] += teleport;
+          }
+          double diff = 0.0;
+          for (size_t v = begin; v < end; ++v) {
+            diff += std::fabs(x[v] - next[v]);
+          }
+          partial[chunk] = diff;
+        });
+    double diff = 0.0;
+    for (size_t c = 0; c < chunks; ++c) diff += partial[c];  // chunk order
+    x.swap(next);
+    if (diff < params.tolerance) break;
+  }
 }
 
 }  // namespace
 
+void FRankInto(const Graph& g, const Query& query, const WalkParams& params,
+               std::vector<double>* out, std::vector<double>* scratch) {
+  CheckQuery(g, query, out, scratch);
+  PowerIterate(g, query, params, g.in_offsets(), out, scratch,
+               [&g](const std::vector<double>& x, NodeId v) {
+                 // Hot loop: streams only the (source, prob) columns.
+                 auto sources = g.in_sources(v);
+                 auto probs = g.in_probs(v);
+                 double sum = 0.0;
+                 for (size_t i = 0; i < sources.size(); ++i) {
+                   sum += probs[i] * x[sources[i]];
+                 }
+                 return sum;
+               });
+}
+
+void TRankInto(const Graph& g, const Query& query, const WalkParams& params,
+               std::vector<double>* out, std::vector<double>* scratch) {
+  CheckQuery(g, query, out, scratch);
+  PowerIterate(g, query, params, g.out_offsets(), out, scratch,
+               [&g](const std::vector<double>& x, NodeId v) {
+                 auto targets = g.out_targets(v);
+                 auto probs = g.out_probs(v);
+                 double sum = 0.0;
+                 for (size_t i = 0; i < targets.size(); ++i) {
+                   sum += probs[i] * x[targets[i]];
+                 }
+                 return sum;
+               });
+}
+
 std::vector<double> FRank(const Graph& g, const Query& query,
                           const WalkParams& params) {
-  const std::vector<double> start = StartVector(g, query);
-  std::vector<double> f = start;  // alpha-scaling folded into the update
-  for (double& x : f) x *= params.alpha;
-  std::vector<double> next(g.num_nodes(), 0.0);
-  for (int iter = 0; iter < params.max_iterations; ++iter) {
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      // Hot loop: streams only the (source, prob) columns.
-      auto sources = g.in_sources(v);
-      auto probs = g.in_probs(v);
-      double sum = 0.0;
-      for (size_t i = 0; i < sources.size(); ++i) {
-        sum += probs[i] * f[sources[i]];
-      }
-      next[v] = params.alpha * start[v] + (1.0 - params.alpha) * sum;
-    }
-    double diff = L1Diff(f, next);
-    f.swap(next);
-    if (diff < params.tolerance) break;
-  }
-  return f;
+  std::vector<double> out, scratch;
+  FRankInto(g, query, params, &out, &scratch);
+  return out;
 }
 
 std::vector<double> TRank(const Graph& g, const Query& query,
                           const WalkParams& params) {
-  const std::vector<double> start = StartVector(g, query);
-  std::vector<double> t = start;
-  for (double& x : t) x *= params.alpha;
-  std::vector<double> next(g.num_nodes(), 0.0);
-  for (int iter = 0; iter < params.max_iterations; ++iter) {
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      auto targets = g.out_targets(v);
-      auto probs = g.out_probs(v);
-      double sum = 0.0;
-      for (size_t i = 0; i < targets.size(); ++i) {
-        sum += probs[i] * t[targets[i]];
-      }
-      next[v] = params.alpha * start[v] + (1.0 - params.alpha) * sum;
-    }
-    double diff = L1Diff(t, next);
-    t.swap(next);
-    if (diff < params.tolerance) break;
-  }
-  return t;
+  std::vector<double> out, scratch;
+  TRankInto(g, query, params, &out, &scratch);
+  return out;
 }
 
 const FTVectors& FTScorer::Compute(const Query& query) {

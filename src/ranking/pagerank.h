@@ -27,16 +27,28 @@ struct WalkParams {
 // Personalized PageRank (Proposition 1). Multi-node queries start uniformly
 // at random from the query nodes (Linearity Theorem).
 //
-// Computed by power iteration on f = alpha*e_q + (1-alpha) * M^T f.
+// Computed by power iteration on f = alpha*e_q + (1-alpha) * M^T f. The
+// per-iteration kernel runs on the util::ParallelFor pool, chunked by arc
+// mass over the in-offsets column; results are bit-identical at any thread
+// count (the determinism contract of DESIGN.md §7).
 std::vector<double> FRank(const Graph& g, const Query& query,
                           const WalkParams& params = {});
 
 // T-Rank (Eq. 8): t(q, v) = p(W_L' = q | W_0 = v), the probability that a
 // trip of geometric length from v lands on the query — the paper's
 // specificity sense. Computed by power iteration on
-// t = alpha*e_q + (1-alpha) * M t.
+// t = alpha*e_q + (1-alpha) * M t, parallelized like FRank.
 std::vector<double> TRank(const Graph& g, const Query& query,
                           const WalkParams& params = {});
+
+// In-place variants: `out` receives the scores, `scratch` is the
+// ping-pong buffer; both are resized to num_nodes and may carry capacity
+// across calls, making repeat queries allocation-free (the workspace-arena
+// contract the naive top-K baseline relies on).
+void FRankInto(const Graph& g, const Query& query, const WalkParams& params,
+               std::vector<double>* out, std::vector<double>* scratch);
+void TRankInto(const Graph& g, const Query& query, const WalkParams& params,
+               std::vector<double>* out, std::vector<double>* scratch);
 
 // The F-Rank and T-Rank vectors of one query.
 struct FTVectors {

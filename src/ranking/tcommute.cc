@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace rtr::ranking {
@@ -48,25 +49,34 @@ class TCommuteMeasure : public ProximityMeasure {
   std::vector<double> InboundHittingTimes(NodeId q) const {
     const size_t n = graph_.num_nodes();
     std::vector<double> h(n, 0.0), next(n, 0.0);
+    // Dense per-tau sweep: every next[v] is independent, so the sweep runs
+    // on the util::ParallelFor pool (arc-balanced chunks; per-index writes
+    // keep the DP bit-identical at any thread count).
+    size_t bounds[util::kMaxChunks + 1];
+    const size_t chunks = util::BalancedChunkBounds(
+        graph_.out_offsets().data(), n, size_t{1} << 14, bounds);
     for (int tau = 1; tau <= params_.horizon; ++tau) {
-      for (NodeId v = 0; v < n; ++v) {
-        if (v == q) {
-          next[v] = 0.0;
-          continue;
-        }
-        auto targets = graph_.out_targets(v);
-        if (targets.empty()) {
-          // The walk is stuck: treat as a self-loop, accruing time.
-          next[v] = 1.0 + h[v];
-          continue;
-        }
-        auto probs = graph_.out_probs(v);
-        double sum = 0.0;
-        for (size_t i = 0; i < targets.size(); ++i) {
-          sum += probs[i] * h[targets[i]];
-        }
-        next[v] = 1.0 + sum;
-      }
+      util::ParallelForChunks(
+          bounds, chunks, [&](size_t, size_t begin, size_t end) {
+            for (size_t v = begin; v < end; ++v) {
+              if (v == q) {
+                next[v] = 0.0;
+                continue;
+              }
+              auto targets = graph_.out_targets(static_cast<NodeId>(v));
+              if (targets.empty()) {
+                // The walk is stuck: treat as a self-loop, accruing time.
+                next[v] = 1.0 + h[v];
+                continue;
+              }
+              auto probs = graph_.out_probs(static_cast<NodeId>(v));
+              double sum = 0.0;
+              for (size_t i = 0; i < targets.size(); ++i) {
+                sum += probs[i] * h[targets[i]];
+              }
+              next[v] = 1.0 + sum;
+            }
+          });
       h.swap(next);
     }
     return h;

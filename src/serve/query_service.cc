@@ -140,6 +140,9 @@ StatusOr<ServeResponse> QueryService::Call(const ServeRequest& request) {
 }
 
 void QueryService::WorkerLoop() {
+  // The worker's reusable query arena: sized on the first query, then
+  // allocation-free for the rest of the worker's life (DESIGN.md §7).
+  core::QueryWorkspace workspace;
   for (;;) {
     Task task;
     {
@@ -151,7 +154,7 @@ void QueryService::WorkerLoop() {
     }
     ServeResponse response;
     response.queue_millis = task.admitted.ElapsedMillis();
-    Execute(task.request, &response);
+    Execute(task.request, &response, &workspace);
     response.total_millis = task.admitted.ElapsedMillis();
     latencies_.Record(response.total_millis);
     if (response.total_millis > options_.slo_millis) {
@@ -166,9 +169,10 @@ void QueryService::WorkerLoop() {
 }
 
 void QueryService::Execute(const ServeRequest& request,
-                           ServeResponse* response) {
+                           ServeResponse* response,
+                           core::QueryWorkspace* workspace) {
   if (!options_.enable_cache) {
-    response->status = RunEngine(request, &response->topk);
+    response->status = RunEngine(request, &response->topk, workspace);
     return;
   }
   CacheKey key = CacheKey::Of(request.query, request.params);
@@ -178,23 +182,24 @@ void QueryService::Execute(const ServeRequest& request,
     response->cache_hit = true;
     return;
   }
-  response->status = RunEngine(request, &response->topk);
+  response->status = RunEngine(request, &response->topk, workspace);
   if (response->status.ok()) cache_.Insert(key, response->topk);
 }
 
 Status QueryService::RunEngine(const ServeRequest& request,
-                               core::TopKResult* topk) const {
+                               core::TopKResult* topk,
+                               core::QueryWorkspace* workspace) const {
   if (backend_ == Backend::kLocal) {
-    StatusOr<core::TopKResult> result =
-        core::TopKRoundTripRank(graph_, request.query, request.params);
-    if (!result.ok()) return result.status();
-    *topk = std::move(result).value();
-  } else {
-    StatusOr<dist::DistributedTopKResult> result =
-        dist::DistributedTopK(*cluster_, request.query, request.params);
-    if (!result.ok()) return result.status();
-    *topk = std::move(result->topk);
+    // Engine output lands directly in the response's result object; all
+    // O(num_nodes) scratch comes from the worker's arena.
+    return core::TopKRoundTripRank(graph_, request.query, request.params,
+                                   *workspace, topk);
   }
+  StatusOr<dist::DistributedTopKResult> result =
+      dist::DistributedTopK(*cluster_, request.query, request.params,
+                            workspace);
+  if (!result.ok()) return result.status();
+  *topk = std::move(result->topk);
   return Status::OK();
 }
 

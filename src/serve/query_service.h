@@ -10,12 +10,14 @@
 //
 // Thread-safety contract (audited in PR 2; see also graph/graph.h,
 // core/twosbound.h, dist/distributed_topk.h): the Graph is immutable and
-// TopKRoundTripRank/DistributedTopK build all per-query state on the
-// caller's stack, so any number of workers can share one Graph / one
-// Cluster with no synchronization. Components with per-query mutable
-// caches (ranking::FTScorer, ProximityMeasure implementations) are NOT used
-// by the top-K path; if the service ever serves full rankings, those must
-// be instantiated per worker.
+// TopKRoundTripRank/DistributedTopK keep all per-query state in the
+// calling worker's core::QueryWorkspace arena (one per worker thread,
+// DESIGN.md §7 — steady-state queries run allocation-free), so any number
+// of workers can share one Graph / one Cluster with no synchronization.
+// Components with per-query mutable caches (ranking::FTScorer,
+// ProximityMeasure implementations) are NOT used by the top-K path; if the
+// service ever serves full rankings, those must be instantiated per
+// worker.
 
 #include <atomic>
 #include <condition_variable>
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "core/twosbound.h"
+#include "core/workspace.h"
 #include "dist/distributed_topk.h"
 #include "graph/graph.h"
 #include "graph/types.h"
@@ -159,11 +162,16 @@ class QueryService {
     WallTimer admitted;  // started at admission
   };
 
+  // Each worker owns one core::QueryWorkspace (the per-query arena of
+  // DESIGN.md §7) for its whole lifetime, so steady-state cache misses run
+  // the engine without O(num_nodes) allocation or zeroing.
   void WorkerLoop();
   // Cache lookup + engine dispatch; fills everything but the timing fields.
-  void Execute(const ServeRequest& request, ServeResponse* response);
+  void Execute(const ServeRequest& request, ServeResponse* response,
+               core::QueryWorkspace* workspace);
   // Backend dispatch for one cache miss.
-  Status RunEngine(const ServeRequest& request, core::TopKResult* topk) const;
+  Status RunEngine(const ServeRequest& request, core::TopKResult* topk,
+                   core::QueryWorkspace* workspace) const;
 
   // Set only by FromGraphFile: keeps a snapshot-loaded graph alive for the
   // service's lifetime (graph_ references it).

@@ -1,0 +1,88 @@
+#ifndef RTR_UTIL_PARALLEL_FOR_H_
+#define RTR_UTIL_PARALLEL_FOR_H_
+
+// Deterministic data-parallel loops over a persistent thread pool
+// (DESIGN.md §7). The pool is process-wide, created lazily on first use,
+// and sized by RTR_NUM_THREADS (falling back to the hardware concurrency).
+//
+// Determinism contract: chunk geometry depends only on the iteration space
+// (n / offsets and grain) — NEVER on the thread count — and chunk count is
+// capped at kMaxChunks so per-chunk partial accumulators fit on the
+// caller's stack. A kernel that writes per-index outputs and reduces
+// per-chunk partials in chunk order therefore produces bit-identical
+// results at 1 and N threads (tests/util/parallel_for_test.cc).
+//
+// Allocation-free: the callable is borrowed by reference (no std::function
+// copy), job state lives in the pool, and chunk bounds live on the caller's
+// stack — a ParallelFor call performs zero heap allocations.
+//
+// Nesting is not supported: a kernel running under ParallelFor must not
+// call ParallelFor itself (the pool serializes jobs on one mutex, so a
+// nested call from a worker thread would deadlock). Concurrent calls from
+// *different* threads (e.g. serve::QueryService workers) are safe — they
+// simply queue behind one another.
+
+#include <cstddef>
+#include <type_traits>
+
+namespace rtr::util {
+
+// Upper bound on chunks per parallel region (see the determinism contract
+// above). 64 saturates far more cores than the serving tier targets while
+// keeping partial arrays at one cache line's worth of pointers.
+inline constexpr size_t kMaxChunks = 64;
+
+// Threads participating in parallel regions (>= 1, includes the caller).
+int NumThreads();
+
+// Resizes the pool; n < 1 resets to the default (RTR_NUM_THREADS env var,
+// else hardware concurrency). Must not race in-flight ParallelFor calls.
+void SetNumThreads(int n);
+
+// Uniform chunk geometry for an index space [0, n): chunks of size
+// max(grain, ceil(n / kMaxChunks)). Depends only on (n, grain).
+size_t ChunkCount(size_t n, size_t grain);
+
+// Balanced chunk geometry for a CSR adjacency: splits [0, n) at the
+// `bounds` array (caller-allocated, kMaxChunks + 1 slots) so every chunk
+// spans roughly equal offsets-mass (arcs), targeting `grain` arcs per
+// chunk. `offsets` is a CSR offsets array with n + 1 entries. Returns the
+// chunk count. Depends only on (offsets, grain).
+size_t BalancedChunkBounds(const size_t* offsets, size_t n, size_t grain,
+                           size_t* bounds);
+
+namespace internal {
+using ChunkFn = void (*)(void* ctx, size_t chunk, size_t begin, size_t end);
+// Runs fn(ctx, c, bounds[c], bounds[c+1]) for c in [0, num_chunks).
+void ParallelForBounds(const size_t* bounds, size_t num_chunks, ChunkFn fn,
+                       void* ctx);
+// Uniform-chunk variant over [0, n).
+void ParallelForUniform(size_t n, size_t grain, ChunkFn fn, void* ctx);
+}  // namespace internal
+
+// Runs fn(chunk, begin, end) for every uniform chunk of [0, n). fn must
+// only write per-index outputs and/or per-chunk accumulator slots.
+template <typename F>
+void ParallelFor(size_t n, size_t grain, F&& fn) {
+  internal::ParallelForUniform(
+      n, grain,
+      [](void* ctx, size_t chunk, size_t begin, size_t end) {
+        (*static_cast<std::remove_reference_t<F>*>(ctx))(chunk, begin, end);
+      },
+      &fn);
+}
+
+// Same, over caller-computed chunk bounds (see BalancedChunkBounds).
+template <typename F>
+void ParallelForChunks(const size_t* bounds, size_t num_chunks, F&& fn) {
+  internal::ParallelForBounds(
+      bounds, num_chunks,
+      [](void* ctx, size_t chunk, size_t begin, size_t end) {
+        (*static_cast<std::remove_reference_t<F>*>(ctx))(chunk, begin, end);
+      },
+      &fn);
+}
+
+}  // namespace rtr::util
+
+#endif  // RTR_UTIL_PARALLEL_FOR_H_

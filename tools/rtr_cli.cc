@@ -11,6 +11,7 @@
 //                [--workers 4] [--queue 256] [--cache 1] [--cache-capacity
 //                1024] [--backend local|dist] [--gps 4] [--k 10]
 //                [--eps 0.01] [--slo-ms 50] [--repeat 0.5] [--seed 7]
+//                [--threads N]
 //
 // Every --graph flag accepts either the text format of graph/io.h or the
 // binary snapshot format of graph/snapshot.h, auto-detected by magic;
@@ -20,6 +21,9 @@
 // queries on a loaded graph) at a target QPS through the concurrent
 // serve::QueryService and reports throughput, tail latency, and cache
 // behavior.
+//
+// `serve --threads N` (or the RTR_NUM_THREADS env var) sizes the
+// util::ParallelFor kernel pool; results are bit-identical at any setting.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -45,6 +49,7 @@
 #include "ranking/combinators.h"
 #include "ranking/pagerank.h"
 #include "serve/query_service.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -382,6 +387,16 @@ int CmdServe(const Flags& flags) {
   options.cache_capacity = static_cast<size_t>(cache_capacity);
   options.slo_millis = flags.GetDouble("slo-ms", 50.0);
 
+  // Kernel-pool width: --threads beats the RTR_NUM_THREADS env default.
+  if (flags.Has("threads")) {
+    int threads = flags.GetInt("threads", 0);
+    if (threads < 1) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    rtr::util::SetNumThreads(threads);
+  }
+
   rtr::core::TopKParams params;
   params.k = flags.GetInt("k", 10);
   params.epsilon = flags.GetDouble("eps", 0.01);
@@ -419,10 +434,11 @@ int CmdServe(const Flags& flags) {
   }
 
   std::printf("serving %zu-node graph: %d queries at %.0f QPS, %d workers, "
-              "queue %zu, cache %s, backend %s\n",
+              "queue %zu, cache %s, backend %s, kernel threads %d\n",
               graph->num_nodes(), num_queries, target_qps,
               options.num_workers, options.queue_capacity,
-              options.enable_cache ? "on" : "off", backend.c_str());
+              options.enable_cache ? "on" : "off", backend.c_str(),
+              rtr::util::NumThreads());
 
   rtr::Status status = service->Start();
   if (!status.ok()) {
