@@ -38,11 +38,11 @@ struct Row {
 // Runs one configuration to completion and returns its stats. The stream
 // mixes repeated queries (uniform draws from a pool half the stream's size)
 // so the cache-on rows serve a realistic skew of hits and misses.
-rtr::serve::ServiceStats RunConfig(const Graph& graph,
-                                   const rtr::dist::Cluster* cluster,
-                                   bool enable_cache, int workers,
-                                   const std::vector<NodeId>& stream,
-                                   const rtr::core::TopKParams& params) {
+rtr::serve::ServiceStats RunConfig(
+    const std::shared_ptr<const Graph>& graph,
+    const std::shared_ptr<const rtr::dist::Cluster>& cluster,
+    bool enable_cache, int workers, const std::vector<NodeId>& stream,
+    const rtr::core::TopKParams& params) {
   rtr::serve::ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = stream.size();  // measure saturation, not shedding
@@ -50,7 +50,7 @@ rtr::serve::ServiceStats RunConfig(const Graph& graph,
   options.cache_capacity = 4096;
   std::unique_ptr<rtr::serve::QueryService> service;
   if (cluster != nullptr) {
-    service = std::make_unique<rtr::serve::QueryService>(*cluster, options);
+    service = std::make_unique<rtr::serve::QueryService>(cluster, options);
   } else {
     service = std::make_unique<rtr::serve::QueryService>(graph, options);
   }
@@ -75,10 +75,12 @@ int main() {
   config.num_authors = config.num_papers / 4;
   // Only the bare graph is served, so it is snapshot-cacheable under
   // RTR_SNAPSHOT_DIR (see bench_common.h).
-  const Graph graph = rtr::bench::LoadOrBuildGraph(
-      "bench_serve_p" + std::to_string(config.num_papers), [&config] {
-        return rtr::datasets::BibNet::Generate(config).value().graph();
-      });
+  const auto graph_ptr = std::make_shared<const Graph>(
+      rtr::bench::LoadOrBuildGraph(
+          "bench_serve_p" + std::to_string(config.num_papers), [&config] {
+            return rtr::datasets::BibNet::Generate(config).value().graph();
+          }));
+  const Graph& graph = *graph_ptr;
 
   int num_queries = rtr::bench::EnvInt("RTR_SERVE_QUERIES", 240);
   int num_gps = rtr::bench::EnvInt("RTR_SERVE_GPS", 4);
@@ -103,18 +105,19 @@ int main() {
   params.k = 10;
   params.epsilon = 0.01;
 
-  rtr::dist::Cluster cluster(graph, num_gps);
+  auto cluster =
+      std::make_shared<const rtr::dist::Cluster>(graph_ptr, num_gps);
 
   std::printf("%-12s %-6s %8s %10s %9s %9s %9s %6s\n", "backend", "cache",
               "workers", "QPS", "p50 ms", "p95 ms", "p99 ms", "hit%");
   const int worker_counts[] = {1, 2, 4, 8};
   for (const char* backend : {"local", "distributed"}) {
-    const rtr::dist::Cluster* maybe_cluster =
-        backend[0] == 'l' ? nullptr : &cluster;
+    std::shared_ptr<const rtr::dist::Cluster> maybe_cluster =
+        backend[0] == 'l' ? nullptr : cluster;
     for (bool cache : {false, true}) {
       for (int workers : worker_counts) {
         rtr::serve::ServiceStats stats = RunConfig(
-            graph, maybe_cluster, cache, workers, stream, params);
+            graph_ptr, maybe_cluster, cache, workers, stream, params);
         uint64_t lookups = stats.cache_hits + stats.cache_misses;
         std::printf("%-12s %-6s %8d %10.1f %9.2f %9.2f %9.2f %5.1f%%\n",
                     backend, cache ? "on" : "off", workers, stats.qps,

@@ -6,6 +6,7 @@
 // served by i+1 graph processors, per-query active-set size and query time
 // through the distributed 2SBound.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,8 @@ inline SnapshotPoint MeasureSnapshot(const Graph& g, const std::string& label,
   point.num_gps = num_gps;
   point.snapshot_bytes = g.MemoryBytes();
 
-  dist::Cluster cluster(g, num_gps);
+  // Aliasing shared_ptr: the caller's graph outlives this measurement.
+  dist::Cluster cluster({std::shared_ptr<const Graph>{}, &g}, num_gps);
   Rng rng(seed);
   std::vector<double> active_mb, query_ms;
   for (int sampled = 0; sampled < num_queries; ++sampled) {

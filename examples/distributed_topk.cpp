@@ -6,6 +6,7 @@
 //   $ ./examples/distributed_topk [num_gps]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/twosbound.h"
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
       rtr::datasets::BibNet::Generate(config).value();
   const rtr::Graph& graph = bibnet.graph();
 
-  rtr::dist::Cluster cluster(graph, num_gps);
+  // Aliasing shared_ptr: the BibNet owns the graph for the whole run.
+  rtr::dist::Cluster cluster({std::shared_ptr<const rtr::Graph>{}, &graph},
+                             num_gps);
   std::printf("graph: %zu nodes, %zu arcs (%.1f MB) striped over %d GPs\n",
               graph.num_nodes(), graph.num_arcs(),
               cluster.total_stored_bytes() / 1e6, num_gps);

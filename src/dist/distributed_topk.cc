@@ -77,23 +77,26 @@ Status GraphProcessor::Fetch(const std::vector<NodeId>& nodes,
   return Status::OK();
 }
 
-Cluster::Cluster(const Graph& g, int num_gps) : graph_(&g) {
+Cluster::Cluster(std::shared_ptr<const Graph> graph, int num_gps,
+                 uint64_t generation)
+    : graph_(std::move(graph)), generation_(generation) {
+  CHECK(graph_ != nullptr) << "a cluster needs a graph";
   CHECK_GE(num_gps, 1) << "a cluster needs at least one graph processor";
   gps_.reserve(static_cast<size_t>(num_gps));
   for (int id = 0; id < num_gps; ++id) {
-    gps_.emplace_back(g, id, num_gps);
+    gps_.emplace_back(*graph_, id, num_gps);
     total_stored_bytes_ += gps_.back().stored_bytes();
   }
 }
 
 StatusOr<std::unique_ptr<Cluster>> Cluster::FromGraphFile(
     const std::string& path, int num_gps) {
-  StatusOr<Graph> loaded = LoadGraphAuto(path);
+  uint64_t generation = 0;
+  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation);
   RTR_RETURN_IF_ERROR(loaded.status());
-  auto graph = std::make_unique<const Graph>(std::move(loaded).value());
-  auto cluster = std::make_unique<Cluster>(*graph, num_gps);
-  cluster->owned_graph_ = std::move(graph);
-  return cluster;
+  return std::make_unique<Cluster>(
+      std::make_shared<const Graph>(std::move(loaded).value()), num_gps,
+      generation);
 }
 
 namespace {

@@ -94,24 +94,37 @@ class GraphProcessor {
   size_t stored_bytes_ = 0;
 };
 
-// A set of graph processors jointly storing one graph, nodes striped
-// round-robin. The cluster also keeps the full graph for the AP-side
-// algorithm run (in a real deployment the AP holds only the active set; the
-// simulation cross-checks that the GP responses reconstruct it exactly).
+// A set of graph processors jointly storing one generation of one graph,
+// nodes striped round-robin. The cluster also keeps the full graph for the
+// AP-side algorithm run (in a real deployment the AP holds only the active
+// set; the simulation cross-checks that the GP responses reconstruct it
+// exactly).
+//
+// Ownership: the cluster shares ownership of its graph generation via
+// shared_ptr — there is no "must outlive" contract, and a live-updating
+// service (serve::QueryService over a graph::GraphStore) rebuilds a fresh
+// Cluster per published generation while in-flight queries drain on the
+// old one.
 class Cluster {
  public:
-  // Requires num_gps >= 1 (CHECK-enforced).
-  Cluster(const Graph& g, int num_gps);
+  // Requires a non-null graph and num_gps >= 1 (CHECK-enforced).
+  // `generation` tags which graph generation the shards were built from.
+  Cluster(std::shared_ptr<const Graph> graph, int num_gps,
+          uint64_t generation = 0);
 
   // Shard bring-up from a saved graph: loads `path` (binary snapshot or
-  // text, auto-detected by magic — see graph/snapshot.h), takes ownership
-  // of the loaded graph, and stripes it across num_gps processors.
+  // text, auto-detected by magic — see graph/snapshot.h) and stripes it
+  // across num_gps processors; the generation id comes from the snapshot
+  // header (0 for text graphs).
   static StatusOr<std::unique_ptr<Cluster>> FromGraphFile(
       const std::string& path, int num_gps);
 
   int num_gps() const { return static_cast<int>(gps_.size()); }
   const std::vector<GraphProcessor>& gps() const { return gps_; }
   const Graph& graph() const { return *graph_; }
+  const std::shared_ptr<const Graph>& graph_ptr() const { return graph_; }
+  // Generation of the striped graph (graph/store.h).
+  uint64_t generation() const { return generation_; }
 
   // GP owning node v.
   int OwnerOf(NodeId v) const { return static_cast<int>(v % gps_.size()); }
@@ -120,10 +133,8 @@ class Cluster {
   size_t total_stored_bytes() const { return total_stored_bytes_; }
 
  private:
-  const Graph* graph_;  // must outlive the cluster unless owned below
-  // Set only by FromGraphFile: keeps a snapshot-loaded graph alive for the
-  // cluster's lifetime (graph_ points at it).
-  std::unique_ptr<const Graph> owned_graph_;
+  std::shared_ptr<const Graph> graph_;
+  uint64_t generation_ = 0;
   std::vector<GraphProcessor> gps_;
   size_t total_stored_bytes_ = 0;
 };

@@ -157,6 +157,9 @@ class Graph {
   // graph/snapshot.cc: reconstructs the frozen columns from a binary
   // snapshot without a GraphBuilder replay.
   friend class SnapshotCodec;
+  // graph/delta.cc: assembles the next generation's columns from the
+  // previous generation plus a GraphDelta, touching only mutated rows.
+  friend class DeltaOps;
 
   std::vector<NodeTypeId> node_types_;
   std::vector<std::string> type_names_;

@@ -208,7 +208,8 @@ class SnapshotCodec {
   }
 };
 
-Status SaveGraphSnapshot(const Graph& g, std::ostream& out) {
+Status SaveGraphSnapshot(const Graph& g, std::ostream& out,
+                         uint64_t generation) {
   const std::string payload = SnapshotCodec::SerializePayload(g);
 
   std::string header;
@@ -221,7 +222,7 @@ Status SaveGraphSnapshot(const Graph& g, std::ostream& out) {
   AppendU<uint64_t>(&header, g.num_arcs());
   AppendU<uint64_t>(&header, SnapshotCodec::TypeBlockBytes(g));
   AppendU<uint64_t>(&header, Fnv1a64Words(payload.data(), payload.size()));
-  AppendU<uint64_t>(&header, 0);  // reserved
+  AppendU<uint64_t>(&header, generation);
   DCHECK_EQ(header.size(), kHeaderBytes);
 
   out.write(header.data(), static_cast<std::streamsize>(header.size()));
@@ -230,38 +231,71 @@ Status SaveGraphSnapshot(const Graph& g, std::ostream& out) {
   return Status::OK();
 }
 
-Status SaveGraphSnapshotToFile(const Graph& g, const std::string& path) {
+Status SaveGraphSnapshotToFile(const Graph& g, const std::string& path,
+                               uint64_t generation) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: " + path);
-  return SaveGraphSnapshot(g, out);
+  return SaveGraphSnapshot(g, out, generation);
 }
 
 namespace {
 
-StatusOr<Graph> LoadGraphSnapshotBuffer(const std::string& buf) {
+struct SnapshotHeader {
+  SnapshotFileInfo info;
+  uint64_t type_block_bytes = 0;
+  Status status = Status::OK();
+};
+
+// Parses and validates the fixed 64-byte header; `buf` may be just the
+// header (ReadSnapshotFileInfo) or the whole file.
+SnapshotHeader ParseSnapshotHeader(std::string_view buf) {
+  SnapshotHeader h;
   if (buf.size() < kHeaderBytes) {
-    return Status::IoError("snapshot shorter than its header");
+    h.status = Status::IoError("snapshot shorter than its header");
+    return h;
   }
   if (std::memcmp(buf.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
-    return Status::IoError("bad snapshot magic");
+    h.status = Status::IoError("bad snapshot magic");
+    return h;
   }
   uint32_t version = 0, header_bytes = 0;
   std::memcpy(&version, buf.data() + 8, sizeof(version));
   std::memcpy(&header_bytes, buf.data() + 12, sizeof(header_bytes));
-  if (version != kSnapshotVersion) {
-    return Status::IoError("unsupported snapshot version " +
-                           std::to_string(version));
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
+    h.status = Status::IoError("unsupported snapshot version " +
+                               std::to_string(version));
+    return h;
   }
   if (header_bytes != kHeaderBytes) {
-    return Status::IoError("bad snapshot header size");
+    h.status = Status::IoError("bad snapshot header size");
+    return h;
   }
   uint64_t fields[6];
   std::memcpy(fields, buf.data() + 16, sizeof(fields));
-  const uint64_t num_types = fields[0];
-  const uint64_t num_nodes = fields[1];
-  const uint64_t num_arcs = fields[2];
-  const uint64_t type_block_bytes = fields[3];
-  const uint64_t checksum = fields[4];
+  h.info.version = version;
+  h.info.num_types = fields[0];
+  h.info.num_nodes = fields[1];
+  h.info.num_arcs = fields[2];
+  h.type_block_bytes = fields[3];
+  h.info.payload_checksum = fields[4];
+  // v1 wrote a zeroed reserved word where v2 keeps the generation id; either
+  // way the value is the generation the file represents.
+  h.info.generation = fields[5];
+  if (version < 2 && h.info.generation != 0) {
+    h.status = Status::IoError("v1 snapshot has nonzero reserved field");
+  }
+  return h;
+}
+
+StatusOr<Graph> LoadGraphSnapshotBuffer(const std::string& buf,
+                                        uint64_t* generation) {
+  SnapshotHeader header = ParseSnapshotHeader(buf);
+  RTR_RETURN_IF_ERROR(header.status);
+  const uint64_t num_types = header.info.num_types;
+  const uint64_t num_nodes = header.info.num_nodes;
+  const uint64_t num_arcs = header.info.num_arcs;
+  const uint64_t type_block_bytes = header.type_block_bytes;
+  const uint64_t checksum = header.info.payload_checksum;
 
   // Range checks before any size arithmetic. NodeId is u32: a node count at
   // or beyond kInvalidNode cannot be indexed (u32 overflow guard).
@@ -298,18 +332,22 @@ StatusOr<Graph> LoadGraphSnapshotBuffer(const std::string& buf) {
   if (Fnv1a64Words(payload.data(), payload.size()) != checksum) {
     return Status::IoError("snapshot checksum mismatch");
   }
-  return SnapshotCodec::Deserialize(num_types, num_nodes, num_arcs,
-                                    type_block_bytes, payload);
+  StatusOr<Graph> g = SnapshotCodec::Deserialize(num_types, num_nodes,
+                                                 num_arcs, type_block_bytes,
+                                                 payload);
+  if (g.ok() && generation != nullptr) *generation = header.info.generation;
+  return g;
 }
 
 }  // namespace
 
-StatusOr<Graph> LoadGraphSnapshot(std::istream& in) {
+StatusOr<Graph> LoadGraphSnapshot(std::istream& in, uint64_t* generation) {
   std::string buf(std::istreambuf_iterator<char>(in), {});
-  return LoadGraphSnapshotBuffer(buf);
+  return LoadGraphSnapshotBuffer(buf, generation);
 }
 
-StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path) {
+StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path,
+                                          uint64_t* generation) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open for read: " + path);
   const std::streamsize size = in.tellg();
@@ -323,7 +361,18 @@ StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path) {
   if (size > 0 && !in.read(buf.data(), size)) {
     return Status::IoError("failed reading snapshot: " + path);
   }
-  return LoadGraphSnapshotBuffer(buf);
+  return LoadGraphSnapshotBuffer(buf, generation);
+}
+
+StatusOr<SnapshotFileInfo> ReadSnapshotFileInfo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string buf(kHeaderBytes, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  buf.resize(static_cast<size_t>(in.gcount()));
+  SnapshotHeader header = ParseSnapshotHeader(buf);
+  RTR_RETURN_IF_ERROR(header.status);
+  return header.info;
 }
 
 StatusOr<bool> IsSnapshotFile(const std::string& path) {
@@ -335,10 +384,11 @@ StatusOr<bool> IsSnapshotFile(const std::string& path) {
          std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
 }
 
-StatusOr<Graph> LoadGraphAuto(const std::string& path) {
+StatusOr<Graph> LoadGraphAuto(const std::string& path, uint64_t* generation) {
   StatusOr<bool> is_snapshot = IsSnapshotFile(path);
   RTR_RETURN_IF_ERROR(is_snapshot.status());
-  if (*is_snapshot) return LoadGraphSnapshotFromFile(path);
+  if (*is_snapshot) return LoadGraphSnapshotFromFile(path, generation);
+  if (generation != nullptr) *generation = 0;
   return LoadGraphFromFile(path);
 }
 

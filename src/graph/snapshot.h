@@ -10,7 +10,7 @@
 
 namespace rtr {
 
-// Binary graph snapshots ("rtr-snap" version 1).
+// Binary graph snapshots ("rtr-snap" version 2).
 //
 // A snapshot freezes a Graph's columnar CSR arrays verbatim so a process can
 // come up without replaying text parsing + GraphBuilder sorting/merging: the
@@ -21,14 +21,14 @@ namespace rtr {
 //
 //   header (64 bytes):
 //     char[8]  magic            "rtr-snap"
-//     u32      version          1
+//     u32      version          2
 //     u32      header_bytes     64
 //     u64      num_types
 //     u64      num_nodes
 //     u64      num_arcs
 //     u64      type_block_bytes (padded size of the type-name section)
 //     u64      payload_checksum (FNV-1a 64 over everything after the header)
-//     u64      reserved         0
+//     u64      generation       (v2; the v1 reserved field, always 0 there)
 //   payload:
 //     type names                num_types x (u32 length + bytes), padded
 //     node_types                num_nodes x u16, padded
@@ -46,16 +46,42 @@ namespace rtr {
 // oversized/trailing-garbage files are rejected), checksum, offset
 // monotonicity and endpoint/type ranges, so a load that returns OK yields a
 // Graph bit-identical to the one saved. All failures are Status::IoError.
+//
+// Versioning: v2 (current) records the graph's generation id (graph/store.h)
+// where v1 had a zeroed reserved field; the payload is unchanged, and the
+// loader accepts both versions (a v1 file is generation 0). Together with
+// delta files (graph/delta.h) this is the on-disk story for live graphs: one
+// base snapshot per epoch plus a chain of deltas to catch up from.
 
 inline constexpr char kSnapshotMagic[8] = {'r', 't', 'r', '-',
                                            's', 'n', 'a', 'p'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
+// Oldest version the loader still reads.
+inline constexpr uint32_t kMinSnapshotVersion = 1;
 
-Status SaveGraphSnapshot(const Graph& g, std::ostream& out);
-Status SaveGraphSnapshotToFile(const Graph& g, const std::string& path);
+Status SaveGraphSnapshot(const Graph& g, std::ostream& out,
+                         uint64_t generation = 0);
+Status SaveGraphSnapshotToFile(const Graph& g, const std::string& path,
+                               uint64_t generation = 0);
 
-StatusOr<Graph> LoadGraphSnapshot(std::istream& in);
-StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path);
+// `generation` (optional) receives the header's generation id (0 for v1
+// files) when the load succeeds.
+StatusOr<Graph> LoadGraphSnapshot(std::istream& in,
+                                  uint64_t* generation = nullptr);
+StatusOr<Graph> LoadGraphSnapshotFromFile(const std::string& path,
+                                          uint64_t* generation = nullptr);
+
+// Header fields of a snapshot without loading the columns — `rtr info` on a
+// snapshot file.
+struct SnapshotFileInfo {
+  uint32_t version = 0;
+  uint64_t generation = 0;
+  uint64_t num_types = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_arcs = 0;
+  uint64_t payload_checksum = 0;
+};
+StatusOr<SnapshotFileInfo> ReadSnapshotFileInfo(const std::string& path);
 
 // True if `path` starts with the snapshot magic; IoError if it cannot be
 // read at all. Files shorter than the magic are simply "not snapshots".
@@ -63,8 +89,10 @@ StatusOr<bool> IsSnapshotFile(const std::string& path);
 
 // Loads a graph from either format, auto-detected by magic: binary
 // snapshots go through LoadGraphSnapshotFromFile, everything else through
-// the text loader (graph/io.h).
-StatusOr<Graph> LoadGraphAuto(const std::string& path);
+// the text loader (graph/io.h). `generation` (optional) receives the
+// snapshot header's generation id (text graphs are generation 0).
+StatusOr<Graph> LoadGraphAuto(const std::string& path,
+                              uint64_t* generation = nullptr);
 
 }  // namespace rtr
 

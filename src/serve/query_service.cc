@@ -21,34 +21,63 @@ const char* BackendName(Backend backend) {
   return "unknown";
 }
 
-QueryService::QueryService(const Graph& graph, const ServiceOptions& options)
-    : graph_(graph),
+QueryService::QueryService(std::shared_ptr<const Graph> graph,
+                           const ServiceOptions& options)
+    : QueryService(std::make_shared<GraphStore>(std::move(graph)), options) {}
+
+QueryService::QueryService(std::shared_ptr<GraphStore> store,
+                           const ServiceOptions& options)
+    : store_(std::move(store)),
       backend_(Backend::kLocal),
       options_(options),
       cache_(options.cache_capacity, options.cache_shards) {
+  CHECK(store_ != nullptr) << "a query service needs a graph store";
   CHECK_GE(options_.num_workers, 1);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  last_seen_generation_.store(store_->generation(),
+                              std::memory_order_relaxed);
 }
 
-QueryService::QueryService(const dist::Cluster& cluster,
+QueryService::QueryService(std::shared_ptr<const dist::Cluster> cluster,
                            const ServiceOptions& options)
-    : graph_(cluster.graph()),
-      cluster_(&cluster),
+    : cluster_(std::move(cluster)),
       backend_(Backend::kDistributed),
       options_(options),
       cache_(options.cache_capacity, options.cache_shards) {
+  CHECK(cluster_ != nullptr) << "a query service needs a cluster";
   CHECK_GE(options_.num_workers, 1);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  last_seen_generation_.store(cluster_->generation(),
+                              std::memory_order_relaxed);
+}
+
+QueryService::QueryService(std::shared_ptr<GraphStore> store, int num_gps,
+                           const ServiceOptions& options)
+    : store_(std::move(store)),
+      num_gps_(num_gps),
+      backend_(Backend::kDistributed),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  CHECK(store_ != nullptr) << "a query service needs a graph store";
+  CHECK_GE(num_gps_, 1);
+  CHECK_GE(options_.num_workers, 1);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  // Stripe the construction-time generation eagerly so the first queries
+  // don't all pile up on the striping mutex.
+  PinnedGraph pinned = store_->Pin();
+  cluster_ = std::make_shared<const dist::Cluster>(pinned.graph, num_gps_,
+                                                   pinned.generation);
+  last_seen_generation_.store(pinned.generation, std::memory_order_relaxed);
 }
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::FromGraphFile(
     const std::string& path, const ServiceOptions& options) {
-  StatusOr<Graph> loaded = LoadGraphAuto(path);
+  uint64_t generation = 0;
+  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation);
   RTR_RETURN_IF_ERROR(loaded.status());
-  auto graph = std::make_unique<const Graph>(std::move(loaded).value());
-  auto service = std::make_unique<QueryService>(*graph, options);
-  service->owned_graph_ = std::move(graph);
-  return service;
+  auto store = std::make_shared<GraphStore>(
+      std::make_shared<const Graph>(std::move(loaded).value()), generation);
+  return std::make_unique<QueryService>(std::move(store), options);
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -168,35 +197,87 @@ void QueryService::WorkerLoop() {
   }
 }
 
+PinnedGraph QueryService::PinForQuery(
+    std::shared_ptr<const dist::Cluster>* cluster) {
+  if (backend_ == Backend::kLocal) return store_->Pin();
+  if (num_gps_ == 0) {
+    // Fixed cluster: cluster_ never changes after construction.
+    *cluster = cluster_;
+    return PinnedGraph{cluster_->graph_ptr(), cluster_->generation()};
+  }
+  // Dist-live: serve from a cluster striped off the store's current
+  // generation. The first worker to pin a new generation restripes while
+  // holding cluster_mu_ (an O(graph) rebuild — later generations' queries
+  // briefly queue on the mutex, while queries already holding the retired
+  // cluster's shared_ptr keep draining untouched). If another worker
+  // already striped a generation NEWER than our pin, serve from that: a
+  // query must never run on a cluster older than the generation key it
+  // caches under.
+  PinnedGraph pinned = store_->Pin();
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  if (cluster_->generation() < pinned.generation) {
+    cluster_ = std::make_shared<const dist::Cluster>(pinned.graph, num_gps_,
+                                                     pinned.generation);
+  } else if (cluster_->generation() > pinned.generation) {
+    pinned = PinnedGraph{cluster_->graph_ptr(), cluster_->generation()};
+  }
+  *cluster = cluster_;
+  return pinned;
+}
+
+void QueryService::ObserveGeneration(uint64_t generation) {
+  uint64_t seen = last_seen_generation_.load(std::memory_order_relaxed);
+  while (seen < generation) {
+    if (last_seen_generation_.compare_exchange_weak(
+            seen, generation, std::memory_order_relaxed)) {
+      // Exactly one worker wins the raise for each swap and pays the
+      // cache walk; entries under older generations are unreachable
+      // anyway (the generation is part of the key), so this is memory
+      // reclamation, not correctness.
+      cache_.EvictGenerationsBelow(generation);
+      return;
+    }
+  }
+}
+
 void QueryService::Execute(const ServeRequest& request,
                            ServeResponse* response,
                            core::QueryWorkspace* workspace) {
+  std::shared_ptr<const dist::Cluster> cluster;
+  PinnedGraph pinned = PinForQuery(&cluster);
+  ObserveGeneration(pinned.generation);
+  response->generation = pinned.generation;
   if (!options_.enable_cache) {
-    response->status = RunEngine(request, &response->topk, workspace);
+    response->status = RunEngine(request, *pinned.graph, cluster.get(),
+                                 &response->topk, workspace);
     return;
   }
-  CacheKey key = CacheKey::Of(request.query, request.params);
+  CacheKey key = CacheKey::Of(request.query, request.params,
+                              pinned.generation);
   // The deep copy into the response happens here, outside the shard lock.
   if (std::shared_ptr<const core::TopKResult> hit = cache_.Lookup(key)) {
     response->topk = *hit;
     response->cache_hit = true;
     return;
   }
-  response->status = RunEngine(request, &response->topk, workspace);
+  response->status = RunEngine(request, *pinned.graph, cluster.get(),
+                               &response->topk, workspace);
   if (response->status.ok()) cache_.Insert(key, response->topk);
 }
 
 Status QueryService::RunEngine(const ServeRequest& request,
+                               const Graph& graph,
+                               const dist::Cluster* cluster,
                                core::TopKResult* topk,
                                core::QueryWorkspace* workspace) const {
   if (backend_ == Backend::kLocal) {
     // Engine output lands directly in the response's result object; all
     // O(num_nodes) scratch comes from the worker's arena.
-    return core::TopKRoundTripRank(graph_, request.query, request.params,
+    return core::TopKRoundTripRank(graph, request.query, request.params,
                                    *workspace, topk);
   }
   StatusOr<dist::DistributedTopKResult> result =
-      dist::DistributedTopK(*cluster_, request.query, request.params,
+      dist::DistributedTopK(*cluster, request.query, request.params,
                             workspace);
   if (!result.ok()) return result.status();
   *topk = std::move(result->topk);
@@ -213,7 +294,10 @@ ServiceStats QueryService::stats() const {
   CacheStats cache_stats = cache_.stats();
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;
+  stats.cache_insertions = cache_stats.insertions;
   stats.cache_evictions = cache_stats.evictions;
+  stats.cache_invalidations = cache_stats.invalidations;
+  stats.generation = last_seen_generation_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (started_) {

@@ -9,15 +9,25 @@
 // ResultCache.
 //
 // Thread-safety contract (audited in PR 2; see also graph/graph.h,
-// core/twosbound.h, dist/distributed_topk.h): the Graph is immutable and
-// TopKRoundTripRank/DistributedTopK keep all per-query state in the
-// calling worker's core::QueryWorkspace arena (one per worker thread,
-// DESIGN.md §7 — steady-state queries run allocation-free), so any number
-// of workers can share one Graph / one Cluster with no synchronization.
-// Components with per-query mutable caches (ranking::FTScorer,
-// ProximityMeasure implementations) are NOT used by the top-K path; if the
-// service ever serves full rankings, those must be instantiated per
-// worker.
+// core/twosbound.h, dist/distributed_topk.h): each Graph generation is
+// immutable and TopKRoundTripRank/DistributedTopK keep all per-query state
+// in the calling worker's core::QueryWorkspace arena (one per worker
+// thread, DESIGN.md §7 — steady-state queries run allocation-free), so any
+// number of workers can share one Graph / one Cluster with no
+// synchronization. Components with per-query mutable caches
+// (ranking::FTScorer, ProximityMeasure implementations) are NOT used by
+// the top-K path; if the service ever serves full rankings, those must be
+// instantiated per worker.
+//
+// Live updates (DESIGN.md §8): a service constructed over a
+// graph::GraphStore pins the store's current generation per query
+// (GraphStore::Pin — a refcount bump, never a graph copy), so a writer
+// publishing new generations through GraphStore::Apply/Publish swaps the
+// served graph without stopping the pool: in-flight queries drain on the
+// generation they pinned while new arrivals pick up the new one. Cache
+// entries carry the generation in their key; the first query to observe a
+// newer generation reclaims entries of retired generations
+// (ResultCache::EvictGenerationsBelow).
 
 #include <atomic>
 #include <condition_variable>
@@ -34,6 +44,7 @@
 #include "core/workspace.h"
 #include "dist/distributed_topk.h"
 #include "graph/graph.h"
+#include "graph/store.h"
 #include "graph/types.h"
 #include "serve/result_cache.h"
 #include "util/latency_histogram.h"
@@ -76,6 +87,9 @@ struct ServeResponse {
   Status status;
   core::TopKResult topk;
   bool cache_hit = false;
+  // Graph generation the query was answered on (graph/store.h; 0 for
+  // static graphs).
+  uint64_t generation = 0;
   // Time from admission to worker pickup, and to completion.
   double queue_millis = 0.0;
   double total_millis = 0.0;
@@ -93,7 +107,13 @@ struct ServiceStats {
   uint64_t slo_violations = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
-  uint64_t cache_evictions = 0;
+  uint64_t cache_insertions = 0;
+  uint64_t cache_evictions = 0;      // LRU capacity evictions
+  uint64_t cache_invalidations = 0;  // reclaimed after generation swaps
+  // Highest graph generation the service has observed: the generation at
+  // construction until a query pins a newer one (always 0 for static
+  // graphs loaded without a generation id).
+  uint64_t generation = 0;
   double elapsed_seconds = 0.0;  // since Start()
   double qps = 0.0;              // completed / elapsed_seconds
   double p50_millis = 0.0;
@@ -101,25 +121,41 @@ struct ServiceStats {
   double p99_millis = 0.0;
 };
 
-// A thread-pooled top-K RoundTripRank service over one immutable graph.
+// A thread-pooled top-K RoundTripRank service over a graph (one fixed
+// generation, or a live sequence of generations behind a GraphStore).
 //
 // Lifecycle: construct -> (optionally SubmitAsync, which queues) -> Start()
 // -> ... -> Shutdown(). Shutdown drains every admitted request before
 // joining the workers, so every accepted SubmitAsync eventually invokes its
 // callback exactly once. The destructor calls Shutdown.
+//
+// Ownership: every constructor shares ownership of its graph source via
+// shared_ptr — there is no "must outlive the service" contract.
 class QueryService {
  public:
-  // Serves from the local engine. `graph` must outlive the service.
-  QueryService(const Graph& graph, const ServiceOptions& options);
-  // Serves through the distributed AP/GP replay. `cluster` (and the graph
-  // it references) must outlive the service.
-  QueryService(const dist::Cluster& cluster, const ServiceOptions& options);
+  // Serves a fixed graph from the local engine (wrapped in an internal
+  // single-generation GraphStore).
+  QueryService(std::shared_ptr<const Graph> graph,
+               const ServiceOptions& options);
+  // Live local serving: each query pins the store's current generation, so
+  // GraphStore::Apply/Publish swap new graph versions in mid-stream.
+  QueryService(std::shared_ptr<GraphStore> store,
+               const ServiceOptions& options);
+  // Serves a fixed cluster through the distributed AP/GP replay.
+  QueryService(std::shared_ptr<const dist::Cluster> cluster,
+               const ServiceOptions& options);
+  // Live distributed serving: queries pin the store's current generation,
+  // and the first worker to observe a new generation restripes a fresh
+  // num_gps-processor cluster for it (under a mutex; in-flight queries
+  // keep draining on the retired cluster they resolved).
+  QueryService(std::shared_ptr<GraphStore> store, int num_gps,
+               const ServiceOptions& options);
 
   // Process bring-up from a saved graph: loads `path` (binary snapshot or
-  // text, auto-detected by magic — see graph/snapshot.h), takes ownership
-  // of the loaded graph, and serves it from the local engine. The fast path
-  // for cold starts: a snapshot load skips the text-parse/GraphBuilder
-  // replay entirely.
+  // text, auto-detected by magic — see graph/snapshot.h) into a fresh
+  // GraphStore seeded with the snapshot's generation id, and serves it
+  // from the local engine. The fast path for cold starts: a snapshot load
+  // skips the text-parse/GraphBuilder replay entirely.
   static StatusOr<std::unique_ptr<QueryService>> FromGraphFile(
       const std::string& path, const ServiceOptions& options);
 
@@ -130,6 +166,8 @@ class QueryService {
 
   Backend backend() const { return backend_; }
   const ServiceOptions& options() const { return options_; }
+  // The live store, or nullptr for the fixed-cluster mode.
+  const std::shared_ptr<GraphStore>& store() const { return store_; }
 
   // Spawns the worker pool. Fails with kFailedPrecondition if already
   // started (including after Shutdown — services are not restartable).
@@ -169,19 +207,33 @@ class QueryService {
   // Cache lookup + engine dispatch; fills everything but the timing fields.
   void Execute(const ServeRequest& request, ServeResponse* response,
                core::QueryWorkspace* workspace);
-  // Backend dispatch for one cache miss.
-  Status RunEngine(const ServeRequest& request, core::TopKResult* topk,
+  // Resolves the graph generation (and, for kDistributed, the cluster)
+  // this query runs on. In dist-live mode this is where a new generation's
+  // cluster gets striped.
+  PinnedGraph PinForQuery(std::shared_ptr<const dist::Cluster>* cluster);
+  // Raises the observed-generation watermark; the winning caller reclaims
+  // cache entries of retired generations.
+  void ObserveGeneration(uint64_t generation);
+  // Backend dispatch for one cache miss, on the pinned generation.
+  Status RunEngine(const ServeRequest& request, const Graph& graph,
+                   const dist::Cluster* cluster, core::TopKResult* topk,
                    core::QueryWorkspace* workspace) const;
 
-  // Set only by FromGraphFile: keeps a snapshot-loaded graph alive for the
-  // service's lifetime (graph_ references it).
-  std::unique_ptr<const Graph> owned_graph_;
-  const Graph& graph_;
-  const dist::Cluster* cluster_ = nullptr;  // non-null iff kDistributed
+  // Graph source. store_ is non-null in every mode except dist-static
+  // (fixed cluster); cluster_ is the fixed cluster in dist-static mode and
+  // the most recently striped generation's cluster in dist-live mode
+  // (guarded by cluster_mu_ there, immutable otherwise).
+  std::shared_ptr<GraphStore> store_;
+  std::shared_ptr<const dist::Cluster> cluster_;
+  std::mutex cluster_mu_;
+  int num_gps_ = 0;  // > 0 iff dist-live
   Backend backend_;
   ServiceOptions options_;
   ResultCache cache_;
   LatencyHistogram latencies_;
+  // Highest generation any query has pinned; raised with a CAS so exactly
+  // one worker per swap pays the cache-invalidation walk.
+  std::atomic<uint64_t> last_seen_generation_{0};
 
   mutable std::mutex mu_;
   // Held for the whole of Shutdown; see the comment there.

@@ -39,6 +39,7 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
   h = Mix(h, static_cast<uint64_t>(key.m_t));
   h = Mix(h, static_cast<uint64_t>(key.max_rounds));
   h = Mix(h, static_cast<uint64_t>(key.scheme));
+  h = Mix(h, key.generation);
   return h;
 }
 
@@ -87,6 +88,24 @@ void ResultCache::Insert(const CacheKey& key, core::TopKResult result) {
   }
 }
 
+size_t ResultCache::EvictGenerationsBelow(uint64_t floor) {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.generation < floor) {
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
 size_t ResultCache::size() const {
   size_t total = 0;
   for (Shard& shard : shards_) {
@@ -102,6 +121,7 @@ CacheStats ResultCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   return stats;
 }
 

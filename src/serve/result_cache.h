@@ -22,10 +22,14 @@
 
 namespace rtr::serve {
 
-// Everything that determines a TopKRoundTripRank answer on a fixed graph.
+// Everything that determines a TopKRoundTripRank answer — the request
+// parameters plus the graph generation (graph/store.h) they ran against.
 // Two requests with equal keys are guaranteed bit-identical results (the
 // engine is deterministic), which is what makes the cache transparent:
-// serving a hit is indistinguishable from re-running the query.
+// serving a hit is indistinguishable from re-running the query. A
+// generation swap changes the key, so entries computed on a retired
+// generation are simply never hit again; EvictGenerationsBelow() reclaims
+// their memory.
 struct CacheKey {
   Query query;  // query nodes exactly as submitted; a permutation of the
                 // same nodes is a different key even though the engine's
@@ -37,14 +41,17 @@ struct CacheKey {
   int m_t = 0;
   int max_rounds = 0;
   core::TopKScheme scheme = core::TopKScheme::k2SBound;
+  // Graph generation the result was computed on (0 for static graphs).
+  uint64_t generation = 0;
 
   bool operator==(const CacheKey&) const = default;
 
-  // Builds the key of one request.
-  static CacheKey Of(const Query& query, const core::TopKParams& params) {
+  // Builds the key of one request against one graph generation.
+  static CacheKey Of(const Query& query, const core::TopKParams& params,
+                     uint64_t generation = 0) {
     return CacheKey{query,          params.k,   params.epsilon,
                     params.alpha,   params.m_f, params.m_t,
-                    params.max_rounds, params.scheme};
+                    params.max_rounds, params.scheme, generation};
   }
 };
 
@@ -57,7 +64,8 @@ struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;     // LRU capacity evictions
+  uint64_t invalidations = 0; // entries dropped by EvictGenerationsBelow
 };
 
 // Thread-safe sharded LRU map CacheKey -> TopKResult. Capacity is global
@@ -83,6 +91,14 @@ class ResultCache {
   // used entry when the shard is full.
   void Insert(const CacheKey& key, core::TopKResult result);
 
+  // Drops every entry whose key.generation is below `floor` and returns
+  // how many were dropped (counted as invalidations, not evictions). The
+  // serving layer calls this when it observes a generation swap: stale
+  // entries are unreachable anyway (the generation is part of the key), so
+  // this is purely memory reclamation. O(resident entries), taking one
+  // shard lock at a time.
+  size_t EvictGenerationsBelow(uint64_t floor);
+
   size_t size() const;
   size_t num_shards() const { return shards_.size(); }
   CacheStats stats() const;
@@ -104,6 +120,7 @@ class ResultCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace rtr::serve

@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# End-to-end test of the live-update CLI workflow (DESIGN.md §8):
+# convert -> diff -> info -> apply-delta -> serve --delta, including the
+# generation handshake and corrupt-file error paths. Registered with ctest
+# by the root CMakeLists; $1 is the path to the rtr_cli binary.
+set -u
+
+CLI="${1:?usage: rtr_cli_delta_test.sh <path-to-rtr_cli>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+check() {  # check <description> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)"
+    fails=$((fails + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+# Three append-only versions of a small graph (text format of graph/io.h):
+# v0 (4 nodes, 4 arcs) -> v1 (+1 node, +2 arcs) -> v2 (+1 arc).
+cat > "$TMP/v0.txt" <<'EOF'
+rtr-graph 1
+2
+untyped
+paper
+4
+0
+1
+1
+0
+4
+0 1 2.5
+1 2 0.25
+2 0 1.0
+2 3 3.0
+EOF
+cat > "$TMP/v1.txt" <<'EOF'
+rtr-graph 1
+2
+untyped
+paper
+5
+0
+1
+1
+0
+1
+6
+0 1 2.5
+1 2 0.25
+2 0 1.0
+2 3 3.0
+3 4 1.5
+4 0 2.0
+EOF
+cat > "$TMP/v2.txt" <<'EOF'
+rtr-graph 1
+2
+untyped
+paper
+5
+0
+1
+1
+0
+1
+7
+0 1 2.5
+1 2 0.25
+1 4 0.75
+2 0 1.0
+2 3 3.0
+3 4 1.5
+4 0 2.0
+EOF
+
+"$CLI" convert "$TMP/v0.txt" "$TMP/v0.rtrsnap" > /dev/null
+check "base text -> snapshot (generation 0)" 0 $?
+
+# --- diff ----------------------------------------------------------------
+
+"$CLI" diff "$TMP/v0.rtrsnap" "$TMP/v1.txt" "$TMP/d1.rtrdelta" \
+  > "$TMP/diff1.txt"
+check "diff v0 -> v1" 0 $?
+grep -q "base generation 0, +1 nodes, -0/+2 arcs" "$TMP/diff1.txt"
+check "diff reports the delta shape" 0 $?
+
+head -c 8 "$TMP/d1.rtrdelta" | grep -q "rtr-delt"
+check "delta file starts with rtr-delt magic" 0 $?
+
+# --- info on snapshot and delta headers ----------------------------------
+
+"$CLI" info "$TMP/d1.rtrdelta" > "$TMP/info_d1.txt"
+check "info reads the delta header" 0 $?
+grep -q "format: delta" "$TMP/info_d1.txt" &&
+  grep -q "base generation: 0" "$TMP/info_d1.txt" &&
+  grep -q "added nodes: 1" "$TMP/info_d1.txt" &&
+  grep -q "added arcs: 2" "$TMP/info_d1.txt"
+check "delta header fields are printed" 0 $?
+
+"$CLI" info "$TMP/v0.rtrsnap" > "$TMP/info_v0.txt"
+check "info reads the snapshot header" 0 $?
+grep -q "format: snapshot" "$TMP/info_v0.txt" &&
+  grep -q "generation: 0" "$TMP/info_v0.txt" &&
+  grep -q "nodes: 4" "$TMP/info_v0.txt"
+check "snapshot header fields are printed" 0 $?
+
+# --- apply-delta ---------------------------------------------------------
+
+"$CLI" apply-delta "$TMP/v0.rtrsnap" "$TMP/d1.rtrdelta" "$TMP/g1.rtrsnap" \
+  > "$TMP/apply1.txt"
+check "apply-delta replays d1 onto the base" 0 $?
+grep -q "generation 1, 5 nodes, 6 arcs" "$TMP/apply1.txt"
+check "applied snapshot carries generation 1" 0 $?
+
+# The applied snapshot must describe the same graph as building v1 from
+# scratch: `info --graph` output is a canonical rendering.
+"$CLI" info --graph "$TMP/g1.rtrsnap" > "$TMP/sum_applied.txt" &&
+  "$CLI" info --graph "$TMP/v1.txt" > "$TMP/sum_direct.txt" &&
+  diff "$TMP/sum_applied.txt" "$TMP/sum_direct.txt" > /dev/null
+check "apply-delta output matches a from-scratch build" 0 $?
+
+# A second delta chained off generation 1 inherits its base generation from
+# the snapshot header.
+"$CLI" diff "$TMP/g1.rtrsnap" "$TMP/v2.txt" "$TMP/d2.rtrdelta" \
+  > "$TMP/diff2.txt"
+check "diff off the generation-1 snapshot" 0 $?
+grep -q "base generation 1" "$TMP/diff2.txt"
+check "chained delta names base generation 1" 0 $?
+
+"$CLI" apply-delta "$TMP/v0.rtrsnap" "$TMP/d1.rtrdelta" "$TMP/d2.rtrdelta" \
+  "$TMP/g2.rtrsnap" > "$TMP/apply2.txt"
+check "apply-delta replays a two-delta chain" 0 $?
+grep -q "generation 2, 5 nodes, 7 arcs" "$TMP/apply2.txt"
+check "chained snapshot carries generation 2" 0 $?
+
+# --- serve --delta (live swap during a replay) ---------------------------
+
+"$CLI" serve --graph "$TMP/g1.rtrsnap" --delta "$TMP/d2.rtrdelta" \
+  --queries 20 --qps 400 --workers 2 --k 3 > "$TMP/serve.txt" 2>&1
+check "serve applies a delta mid-replay" 0 $?
+grep -q "\[swap\] .*d2.rtrdelta -> generation 2" "$TMP/serve.txt" &&
+  grep -q "(1 swaps" "$TMP/serve.txt"
+check "serve reports the generation swap" 0 $?
+
+# --- error paths ---------------------------------------------------------
+
+"$CLI" diff "$TMP/v0.rtrsnap" "$TMP/v1.txt" > /dev/null 2>&1
+check "diff with missing operand exits 2" 2 $?
+
+"$CLI" apply-delta "$TMP/v0.rtrsnap" "$TMP/out.rtrsnap" > /dev/null 2>&1
+check "apply-delta with no delta operand exits 2" 2 $?
+
+"$CLI" diff "$TMP/does-not-exist" "$TMP/v1.txt" "$TMP/x" > /dev/null 2>&1
+check "diff with nonexistent base exits 1" 1 $?
+
+# Shrinking evolution (v1 -> v0 drops a node) violates append-only.
+"$CLI" diff "$TMP/v1.txt" "$TMP/v0.txt" "$TMP/x" > /dev/null 2>&1
+check "non-append-only diff exits 1" 1 $?
+
+# d2 names base generation 1; the v0 snapshot is generation 0.
+"$CLI" apply-delta "$TMP/v0.rtrsnap" "$TMP/d2.rtrdelta" "$TMP/x" \
+  > /dev/null 2>&1
+check "out-of-order delta replay exits 1" 1 $?
+
+head -c 40 "$TMP/d1.rtrdelta" > "$TMP/truncated.rtrdelta"
+"$CLI" info "$TMP/truncated.rtrdelta" > /dev/null 2>&1
+check "info on truncated delta exits 1" 1 $?
+
+cp "$TMP/d1.rtrdelta" "$TMP/corrupt.rtrdelta"
+printf '\xff' | dd of="$TMP/corrupt.rtrdelta" bs=1 \
+  seek=$(($(stat -c %s "$TMP/corrupt.rtrdelta") - 1)) conv=notrunc \
+  > /dev/null 2>&1
+"$CLI" apply-delta "$TMP/v0.rtrsnap" "$TMP/corrupt.rtrdelta" "$TMP/x" \
+  > /dev/null 2>&1
+check "apply-delta on corrupt delta exits 1" 1 $?
+
+"$CLI" serve --graph "$TMP/v0.rtrsnap" --delta "$TMP/d2.rtrdelta" \
+  --queries 5 --qps 400 --workers 2 > /dev/null 2>&1
+check "serve with a stale delta exits 1" 1 $?
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed"
+  exit 1
+fi
+echo "all delta CLI checks passed"

@@ -30,6 +30,13 @@ Graph SmallRandomishGraph() {
   return b.Build().value();
 }
 
+// Non-owning shared handle for the Cluster constructor: test graphs live on
+// the test's stack and outlive the clusters built over them, so an aliasing
+// shared_ptr avoids a per-cluster graph copy.
+std::shared_ptr<const Graph> NoCopy(const Graph& g) {
+  return {std::shared_ptr<const Graph>{}, &g};
+}
+
 datasets::QLog SmallQLog() {
   datasets::QLogConfig config;
   config.num_concepts = 400;
@@ -40,7 +47,7 @@ datasets::QLog SmallQLog() {
 TEST(ClusterTest, EveryNodeOwnedExactlyOnce) {
   Graph g = SmallRandomishGraph();
   for (int num_gps : {1, 2, 3, 4, 7}) {
-    dist::Cluster cluster(g, num_gps);
+    dist::Cluster cluster(NoCopy(g), num_gps);
     ASSERT_EQ(cluster.gps().size(), static_cast<size_t>(num_gps));
     std::vector<int> owners(g.num_nodes(), 0);
     size_t total_owned = 0;
@@ -63,7 +70,7 @@ TEST(ClusterTest, EveryNodeOwnedExactlyOnce) {
 
 TEST(ClusterTest, StripingIsBalanced) {
   Graph g = SmallRandomishGraph();
-  dist::Cluster cluster(g, 4);
+  dist::Cluster cluster(NoCopy(g), 4);
   size_t lo = g.num_nodes(), hi = 0;
   for (const dist::GraphProcessor& gp : cluster.gps()) {
     lo = std::min(lo, gp.num_owned_nodes());
@@ -75,7 +82,7 @@ TEST(ClusterTest, StripingIsBalanced) {
 TEST(ClusterTest, StoredBytesSumToTotal) {
   Graph g = SmallRandomishGraph();
   for (int num_gps : {1, 3, 5}) {
-    dist::Cluster cluster(g, num_gps);
+    dist::Cluster cluster(NoCopy(g), num_gps);
     size_t sum = 0;
     for (const dist::GraphProcessor& gp : cluster.gps()) {
       EXPECT_GT(gp.stored_bytes(), 0u);
@@ -87,7 +94,7 @@ TEST(ClusterTest, StoredBytesSumToTotal) {
 
 TEST(GraphProcessorTest, FetchRejectsForeignNode) {
   Graph g = SmallRandomishGraph();
-  dist::Cluster cluster(g, 2);
+  dist::Cluster cluster(NoCopy(g), 2);
   std::vector<dist::NodeRecord> records;
   // Node 1 belongs to GP 1, not GP 0.
   Status status = cluster.gps()[0].Fetch({1}, &records);
@@ -96,7 +103,7 @@ TEST(GraphProcessorTest, FetchRejectsForeignNode) {
 
 TEST(DistributedTopKTest, SingleGpDegeneratesToLocal) {
   Graph g = SmallRandomishGraph();
-  dist::Cluster cluster(g, 1);
+  dist::Cluster cluster(NoCopy(g), 1);
   core::TopKParams params;
   params.k = 5;
   params.epsilon = 0.001;
@@ -124,7 +131,7 @@ TEST(DistributedTopKTest, MatchesLocalRankingAcrossGpCounts) {
   ASSERT_LT(query, g.num_nodes());
   core::TopKResult local = core::TopKRoundTripRank(g, {query}, params).value();
   for (int num_gps : {1, 2, 3, 4}) {
-    dist::Cluster cluster(g, num_gps);
+    dist::Cluster cluster(NoCopy(g), num_gps);
     dist::DistributedTopKResult distributed =
         dist::DistributedTopK(cluster, {query}, params).value();
     ASSERT_EQ(distributed.topk.entries.size(), local.entries.size())
@@ -153,7 +160,7 @@ TEST(DistributedTopKTest, RequestBatchingCapIsRespected) {
   NodeId query = 0;
   while (query < g.num_nodes() && g.out_degree(query) == 0) ++query;
   ASSERT_LT(query, g.num_nodes());
-  dist::Cluster cluster(g, 3);
+  dist::Cluster cluster(NoCopy(g), 3);
   dist::DistributedTopKResult result =
       dist::DistributedTopK(cluster, {query}, params).value();
   // Enough requests to carry every record under the per-request cap.
@@ -167,7 +174,7 @@ TEST(DistributedTopKTest, RequestBatchingCapIsRespected) {
 
 TEST(DistributedTopKTest, RejectsNaiveScheme) {
   Graph g = SmallRandomishGraph();
-  dist::Cluster cluster(g, 2);
+  dist::Cluster cluster(NoCopy(g), 2);
   core::TopKParams params;
   params.scheme = core::TopKScheme::kNaive;
   StatusOr<dist::DistributedTopKResult> result =
@@ -178,7 +185,7 @@ TEST(DistributedTopKTest, RejectsNaiveScheme) {
 
 TEST(DistributedTopKTest, PropagatesInvalidQuery) {
   Graph g = SmallRandomishGraph();
-  dist::Cluster cluster(g, 2);
+  dist::Cluster cluster(NoCopy(g), 2);
   core::TopKParams params;
   StatusOr<dist::DistributedTopKResult> result =
       dist::DistributedTopK(cluster, {}, params);
@@ -197,7 +204,7 @@ TEST(ClusterTest, FromGraphFileBringsUpShards) {
   StatusOr<std::unique_ptr<dist::Cluster>> cluster =
       dist::Cluster::FromGraphFile(path, 3);
   ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
-  dist::Cluster reference(g, 3);
+  dist::Cluster reference(NoCopy(g), 3);
   EXPECT_EQ((*cluster)->num_gps(), 3);
   EXPECT_EQ((*cluster)->total_stored_bytes(),
             reference.total_stored_bytes());

@@ -103,7 +103,8 @@ TEST(PipelineIntegrationTest, DistributedMatchesLocalOnQLogSnapshot) {
   core::TopKParams params;
   params.k = 5;
   params.epsilon = 0.005;
-  dist::Cluster cluster(g, 3);
+  // Aliasing shared_ptr: the snapshot's graph outlives the cluster here.
+  dist::Cluster cluster({std::shared_ptr<const Graph>{}, &g}, 3);
   NodeId query = 0;
   while (g.out_degree(query) == 0) ++query;
   core::TopKResult local = core::TopKRoundTripRank(g, {query}, params).value();

@@ -11,8 +11,11 @@
 #include "core/twosbound.h"
 #include "datasets/bibnet.h"
 #include "dist/distributed_topk.h"
+#include "graph/builder.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 #include "graph/snapshot.h"
+#include "graph/store.h"
 #include "util/random.h"
 
 namespace rtr::serve {
@@ -29,6 +32,14 @@ const datasets::BibNet& SharedNet() {
         datasets::BibNet::Generate(config).value());
   }();
   return *net;
+}
+
+// Non-owning handle to the shared BibNet's graph for the service/cluster
+// shared_ptr constructors: the fixture above lives for the whole process,
+// so an aliasing shared_ptr with no control block is safe and avoids
+// copying the graph per test.
+std::shared_ptr<const Graph> SharedGraphPtr() {
+  return {std::shared_ptr<const Graph>{}, &SharedNet().graph()};
 }
 
 core::TopKParams DefaultParams() {
@@ -93,12 +104,13 @@ void RunBitIdenticalStream(Backend backend) {
   options.enable_cache = true;
   options.cache_capacity = 64;
 
-  dist::Cluster cluster(graph, 3);
   std::unique_ptr<QueryService> service_holder;
   if (backend == Backend::kLocal) {
-    service_holder = std::make_unique<QueryService>(graph, options);
+    service_holder =
+        std::make_unique<QueryService>(SharedGraphPtr(), options);
   } else {
-    service_holder = std::make_unique<QueryService>(cluster, options);
+    service_holder = std::make_unique<QueryService>(
+        std::make_shared<const dist::Cluster>(SharedGraphPtr(), 3), options);
   }
   QueryService& service = *service_holder;
   ASSERT_TRUE(service.Start().ok());
@@ -145,7 +157,7 @@ TEST(QueryServiceTest, AdmissionQueueOverflowShedsLoad) {
   ServiceOptions options;
   options.num_workers = 2;
   options.queue_capacity = 5;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
 
   // Submissions queue up before Start, so the overflow is deterministic.
   std::atomic<int> done{0};
@@ -172,10 +184,9 @@ TEST(QueryServiceTest, AdmissionQueueOverflowShedsLoad) {
 }
 
 TEST(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
-  const Graph& graph = SharedNet().graph();
   ServiceOptions options;
   options.num_workers = 1;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
   ASSERT_TRUE(service.Start().ok());
   service.Shutdown();
   Status status = service.SubmitAsync({{0}, DefaultParams()}, nullptr);
@@ -183,18 +194,16 @@ TEST(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
 }
 
 TEST(QueryServiceTest, CallRequiresStartedService) {
-  const Graph& graph = SharedNet().graph();
-  QueryService service(graph, ServiceOptions{});
+  QueryService service(SharedGraphPtr(), ServiceOptions{});
   StatusOr<ServeResponse> response =
       service.Call({{0}, DefaultParams()});
   EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(QueryServiceTest, StartTwiceFails) {
-  const Graph& graph = SharedNet().graph();
   ServiceOptions options;
   options.num_workers = 1;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
   ASSERT_TRUE(service.Start().ok());
   EXPECT_EQ(service.Start().code(), StatusCode::kFailedPrecondition);
   service.Shutdown();
@@ -212,7 +221,7 @@ TEST(QueryServiceTest, RepeatQueryHitsCacheThenEvicts) {
   options.num_workers = 1;
   options.cache_capacity = 1;
   options.cache_shards = 1;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
   ASSERT_TRUE(service.Start().ok());
 
   ServeRequest first{{nodes[0]}, DefaultParams()};
@@ -241,7 +250,7 @@ TEST(QueryServiceTest, ChangedParamsBypassTheCache) {
   std::vector<NodeId> nodes = MixedQueryStream(graph, 1, 1, 13);
   ServiceOptions options;
   options.num_workers = 1;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
   ASSERT_TRUE(service.Start().ok());
 
   core::TopKParams params = DefaultParams();
@@ -258,7 +267,7 @@ TEST(QueryServiceTest, EngineErrorsPropagatePerQuery) {
   const Graph& graph = SharedNet().graph();
   ServiceOptions options;
   options.num_workers = 1;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
   ASSERT_TRUE(service.Start().ok());
 
   NodeId out_of_range = static_cast<NodeId>(graph.num_nodes());
@@ -281,7 +290,7 @@ TEST(QueryServiceTest, EngineErrorsPropagatePerQuery) {
 
 TEST(QueryServiceTest, NaiveSchemeRejectedByDistributedBackend) {
   const Graph& graph = SharedNet().graph();
-  dist::Cluster cluster(graph, 2);
+  auto cluster = std::make_shared<const dist::Cluster>(SharedGraphPtr(), 2);
   ServiceOptions options;
   options.num_workers = 1;
   QueryService service(cluster, options);
@@ -305,7 +314,7 @@ TEST(QueryServiceTest, SloViolationAccounting) {
   options.num_workers = 2;
   options.slo_millis = 0.0;
   {
-    QueryService service(graph, options);
+    QueryService service(SharedGraphPtr(), options);
     ASSERT_TRUE(service.Start().ok());
     for (NodeId q : stream) {
       ASSERT_TRUE(service.SubmitAsync({{q}, DefaultParams()}, nullptr).ok());
@@ -320,7 +329,7 @@ TEST(QueryServiceTest, SloViolationAccounting) {
   // An unmissable SLO: zero violations.
   options.slo_millis = 1e9;
   {
-    QueryService service(graph, options);
+    QueryService service(SharedGraphPtr(), options);
     ASSERT_TRUE(service.Start().ok());
     for (NodeId q : stream) {
       ASSERT_TRUE(service.SubmitAsync({{q}, DefaultParams()}, nullptr).ok());
@@ -331,9 +340,8 @@ TEST(QueryServiceTest, SloViolationAccounting) {
 }
 
 TEST(QueryServiceTest, ShutdownWithoutStartCompletesQueuedAsUnavailable) {
-  const Graph& graph = SharedNet().graph();
   ServiceOptions options;
-  QueryService service(graph, options);
+  QueryService service(SharedGraphPtr(), options);
   std::atomic<int> unavailable{0};
   ASSERT_TRUE(service
                   .SubmitAsync({{0}, DefaultParams()},
@@ -382,6 +390,207 @@ TEST(QueryServiceTest, FromGraphFileRejectsMissingAndCorruptFiles) {
   const std::string path = testing::TempDir() + "/rtr_query_service_bad.txt";
   std::ofstream(path) << "not a graph at all\n";
   EXPECT_FALSE(QueryService::FromGraphFile(path, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Live updates (DESIGN.md §8): serving over a GraphStore while a writer
+// publishes new generations.
+
+Graph LiveBaseGraph(size_t n = 50) {
+  Rng rng(99);
+  GraphBuilder b;
+  b.AddNodes(n);
+  for (size_t e = 0; e < 4 * n; ++e) {
+    b.AddDirectedEdge(static_cast<NodeId>(rng.NextUint64(n)),
+                      static_cast<NodeId>(rng.NextUint64(n)),
+                      0.1 + rng.NextDouble());
+  }
+  return b.Build().value();
+}
+
+// Appends two nodes and a batch of arcs over the grown range.
+GraphDelta GrowthDelta(uint64_t base_generation, size_t base_nodes,
+                       uint64_t seed) {
+  Rng rng(seed);
+  GraphDelta delta;
+  delta.base_generation = base_generation;
+  delta.added_node_types = {kUntypedNode, kUntypedNode};
+  const size_t n = base_nodes + 2;
+  for (int e = 0; e < 10; ++e) {
+    delta.added_arcs.push_back({static_cast<NodeId>(rng.NextUint64(n)),
+                                static_cast<NodeId>(rng.NextUint64(n)),
+                                0.1 + rng.NextDouble()});
+  }
+  return delta;
+}
+
+TEST(QueryServiceTest, LiveStoreServesNewGenerationsMidStream) {
+  auto store = std::make_shared<GraphStore>(LiveBaseGraph());
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(store, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  NodeId query = 0;
+  while (store->Current()->out_degree(query) == 0) ++query;
+
+  StatusOr<ServeResponse> before = service.Call({{query}, DefaultParams()});
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->status.ok());
+  EXPECT_EQ(before->generation, 0u);
+  ExpectBitIdentical(
+      before->topk,
+      core::TopKRoundTripRank(*store->Current(), {query}, DefaultParams())
+          .value(),
+      query);
+
+  // Publish generation 1 while the pool is live; the same query must now be
+  // answered on the new graph, bit-identically to a serial run on it.
+  PinnedGraph old_pin = store->Pin();
+  ASSERT_TRUE(store->Apply(GrowthDelta(0, old_pin.graph->num_nodes(), 7)).ok());
+  StatusOr<ServeResponse> after = service.Call({{query}, DefaultParams()});
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  EXPECT_EQ(after->generation, 1u);
+  EXPECT_FALSE(after->cache_hit);  // the old generation's entry is dead
+  ExpectBitIdentical(
+      after->topk,
+      core::TopKRoundTripRank(*store->Current(), {query}, DefaultParams())
+          .value(),
+      query);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.generation, 1u);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, GenerationSwapInvalidatesCachedResults) {
+  auto store = std::make_shared<GraphStore>(LiveBaseGraph());
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(store, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  NodeId query = 0;
+  while (store->Current()->out_degree(query) == 0) ++query;
+  ServeRequest request{{query}, DefaultParams()};
+
+  ASSERT_TRUE(service.Call(request).ok());              // miss, fills cache
+  StatusOr<ServeResponse> hit = service.Call(request);  // hit on generation 0
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+
+  ASSERT_TRUE(
+      store->Apply(GrowthDelta(0, store->Current()->num_nodes(), 11)).ok());
+  StatusOr<ServeResponse> miss = service.Call(request);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->cache_hit);  // generation 1 key, computed fresh
+  EXPECT_EQ(miss->generation, 1u);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.generation, 1u);
+  // The first query to observe the swap reclaimed generation-0 entries.
+  EXPECT_GE(stats.cache_invalidations, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, DistLiveBackendRestripesOnSwap) {
+  auto store = std::make_shared<GraphStore>(LiveBaseGraph());
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(store, /*num_gps=*/2, options);
+  EXPECT_EQ(service.backend(), Backend::kDistributed);
+  ASSERT_TRUE(service.Start().ok());
+
+  NodeId query = 0;
+  while (store->Current()->out_degree(query) == 0) ++query;
+
+  StatusOr<ServeResponse> before = service.Call({{query}, DefaultParams()});
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->status.ok());
+  EXPECT_EQ(before->generation, 0u);
+
+  ASSERT_TRUE(
+      store->Apply(GrowthDelta(0, store->Current()->num_nodes(), 13)).ok());
+  StatusOr<ServeResponse> after = service.Call({{query}, DefaultParams()});
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  EXPECT_EQ(after->generation, 1u);
+  // The distributed replay on the restriped cluster matches the local
+  // engine on the same generation bit-for-bit.
+  ExpectBitIdentical(
+      after->topk,
+      core::TopKRoundTripRank(*store->Current(), {query}, DefaultParams())
+          .value(),
+      query);
+  service.Shutdown();
+}
+
+// Swap-under-load stress (the serve-side TSan target): a writer publishes
+// generations while 4 workers drain a query stream; every response must be
+// bit-identical to a serial run on the generation it reports.
+TEST(QueryServiceTest, LiveSwapUnderConcurrentLoadStaysBitIdentical) {
+  auto store = std::make_shared<GraphStore>(LiveBaseGraph());
+  constexpr int kSwaps = 4;
+  constexpr int kQueriesPerPhase = 12;
+
+  // Pin every generation so post-hoc references can be computed on the
+  // exact graphs the workers served.
+  std::vector<PinnedGraph> generations;
+  generations.push_back(store->Pin());
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = (kSwaps + 1) * kQueriesPerPhase;
+  QueryService service(store, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<NodeId> pool =
+      MixedQueryStream(*generations[0].graph, 8, kQueriesPerPhase, 31);
+  std::vector<ServeResponse> responses(options.queue_capacity);
+  size_t submitted = 0;
+  for (int phase = 0; phase <= kSwaps; ++phase) {
+    for (int i = 0; i < kQueriesPerPhase; ++i) {
+      const size_t slot = submitted++;
+      ASSERT_TRUE(service
+                      .SubmitAsync({{pool[static_cast<size_t>(i) %
+                                          pool.size()]},
+                                    DefaultParams()},
+                                   [&responses, slot](const ServeResponse& r) {
+                                     responses[slot] = r;
+                                   })
+                      .ok());
+    }
+    if (phase < kSwaps) {
+      // Publish the next generation while this phase's queries are being
+      // drained by the pool.
+      StatusOr<uint64_t> gen = store->Apply(
+          GrowthDelta(static_cast<uint64_t>(phase),
+                      store->Current()->num_nodes(),
+                      100 + static_cast<uint64_t>(phase)));
+      ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+      generations.push_back(store->Pin());
+    }
+  }
+  service.Shutdown();
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.generation, static_cast<uint64_t>(kSwaps));
+
+  for (size_t i = 0; i < submitted; ++i) {
+    const ServeResponse& r = responses[i];
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    ASSERT_LT(r.generation, generations.size());
+    const Graph& served = *generations[r.generation].graph;
+    NodeId q = pool[i % pool.size()];
+    ExpectBitIdentical(
+        r.topk,
+        core::TopKRoundTripRank(served, {q}, DefaultParams()).value(), q);
+  }
 }
 
 }  // namespace

@@ -141,5 +141,42 @@ TEST(ResultCacheTest, ConcurrentMixedUseKeepsCountersConsistent) {
   EXPECT_LE(cache.size(), 64u);
 }
 
+TEST(ResultCacheTest, GenerationIsPartOfTheKey) {
+  // The live-update story (DESIGN.md §8): results computed on generation g
+  // must be unreachable from queries pinned to generation g+1.
+  ResultCache cache(8, 1);
+  core::TopKParams params;
+  cache.Insert(CacheKey::Of({5}, params, /*generation=*/1), MakeResult(10));
+  EXPECT_EQ(cache.Lookup(CacheKey::Of({5}, params, 2)), nullptr);
+  EXPECT_EQ(cache.Lookup(CacheKey::Of({5}, params, 0)), nullptr);
+  std::shared_ptr<const core::TopKResult> out =
+      cache.Lookup(CacheKey::Of({5}, params, 1));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->entries[0].node, 10u);
+}
+
+TEST(ResultCacheTest, EvictGenerationsBelowReclaimsStaleEntries) {
+  ResultCache cache(/*capacity=*/16, /*num_shards=*/2);
+  core::TopKParams params;
+  for (NodeId v = 0; v < 4; ++v) {
+    cache.Insert(CacheKey::Of({v}, params, /*generation=*/1), MakeResult(v));
+  }
+  cache.Insert(CacheKey::Of({9}, params, /*generation=*/2), MakeResult(9));
+
+  cache.EvictGenerationsBelow(2);
+  EXPECT_EQ(cache.size(), 1u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(cache.Lookup(CacheKey::Of({v}, params, 1)), nullptr);
+  }
+  // The current generation's entry survives.
+  EXPECT_NE(cache.Lookup(CacheKey::Of({9}, params, 2)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 4u);
+
+  // Idempotent: nothing below the floor remains.
+  cache.EvictGenerationsBelow(2);
+  EXPECT_EQ(cache.stats().invalidations, 4u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 }  // namespace
 }  // namespace rtr::serve

@@ -1,26 +1,34 @@
 // rtr — command-line interface to the RoundTripRank library.
 //
-//   rtr generate --dataset bibnet|qlog [--seed N] [--out graph.txt]
-//   rtr convert  <in> <out>
-//   rtr info     --graph graph.txt
-//   rtr rank     --graph graph.txt --query 1,2,3 [--measure rtr|rtr+|f|t]
-//                [--beta 0.5] [--k 10] [--type venue]
-//   rtr topk     --graph graph.txt --query 5 [--k 10] [--eps 0.01]
-//                [--scheme 2sbound|gupta|sarkar|g+s|naive]
-//   rtr serve    [--graph graph.txt] [--queries 200] [--qps 200]
-//                [--workers 4] [--queue 256] [--cache 1] [--cache-capacity
-//                1024] [--backend local|dist] [--gps 4] [--k 10]
-//                [--eps 0.01] [--slo-ms 50] [--repeat 0.5] [--seed 7]
-//                [--threads N]
+//   rtr generate    --dataset bibnet|qlog [--seed N] [--out graph.txt]
+//   rtr convert     <in> <out>
+//   rtr info        <graph-or-delta-file>        (also: --graph graph.txt)
+//   rtr diff        <base> <next> <out.rtrdelta>
+//   rtr apply-delta <base> <delta> [<delta> ...] <out.rtrsnap>
+//   rtr rank        --graph graph.txt --query 1,2,3 [--measure rtr|rtr+|f|t]
+//                   [--beta 0.5] [--k 10] [--type venue]
+//   rtr topk        --graph graph.txt --query 5 [--k 10] [--eps 0.01]
+//                   [--scheme 2sbound|gupta|sarkar|g+s|naive]
+//   rtr serve       [--graph graph.txt] [--delta d1.rtrdelta,d2.rtrdelta]
+//                   [--queries 200] [--qps 200] [--workers 4] [--queue 256]
+//                   [--cache 1] [--cache-capacity 1024]
+//                   [--backend local|dist] [--gps 4] [--k 10] [--eps 0.01]
+//                   [--slo-ms 50] [--repeat 0.5] [--seed 7] [--threads N]
 //
 // Every --graph flag accepts either the text format of graph/io.h or the
 // binary snapshot format of graph/snapshot.h, auto-detected by magic;
 // `convert` translates between the two (a text input becomes a snapshot and
 // vice versa). `generate` emits the synthetic datasets used by the
-// benchmark suite. `serve` replays a synthetic QLog query stream (or random
-// queries on a loaded graph) at a target QPS through the concurrent
-// serve::QueryService and reports throughput, tail latency, and cache
-// behavior.
+// benchmark suite. `info` on a binary snapshot or delta file prints the
+// header (format version, generation, counts, checksum) without loading the
+// payload. `diff` computes the delta between two append-only graph
+// versions; `apply-delta` replays delta files onto a base through a
+// graph::GraphStore and writes the resulting generation as a v2 snapshot.
+// `serve` replays a synthetic QLog query stream (or random queries on a
+// loaded graph) at a target QPS through the concurrent serve::QueryService
+// and reports throughput, tail latency, and cache behavior; with --delta, a
+// writer thread applies the listed delta files mid-replay, exercising the
+// live generation-swap path while queries are in flight.
 //
 // `serve --threads N` (or the RTR_NUM_THREADS env var) sizes the
 // util::ParallelFor kernel pool; results are bit-identical at any setting.
@@ -44,8 +52,10 @@
 #include "datasets/qlog.h"
 #include "dist/distributed_topk.h"
 #include "eval/experiment.h"
+#include "graph/delta.h"
 #include "graph/io.h"
 #include "graph/snapshot.h"
+#include "graph/store.h"
 #include "ranking/combinators.h"
 #include "ranking/pagerank.h"
 #include "serve/query_service.h"
@@ -199,8 +209,8 @@ int CmdConvert(int argc, char** argv) {
   return 0;
 }
 
-int CmdInfo(const Flags& flags) {
-  Graph graph = LoadGraphOrDie(flags);
+// Full in-memory summary of a loaded graph (the historical `info` output).
+void PrintGraphSummary(const Graph& graph) {
   std::printf("nodes: %zu\narcs: %zu\naverage degree: %.2f\nmemory: %.1f MB\n",
               graph.num_nodes(), graph.num_arcs(), graph.AverageDegree(),
               graph.MemoryBytes() / 1e6);
@@ -214,6 +224,155 @@ int CmdInfo(const Flags& flags) {
       std::printf("  %-12s %zu\n", graph.type_names()[t].c_str(), count);
     }
   }
+}
+
+// `rtr info <path>`: header-only inspection of binary snapshot and delta
+// files (no payload load), full summary for text graphs.
+int CmdInfoPath(const std::string& path) {
+  rtr::StatusOr<bool> is_delta = rtr::IsDeltaFile(path);
+  if (!is_delta.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 is_delta.status().ToString().c_str());
+    return 1;
+  }
+  if (*is_delta) {
+    rtr::StatusOr<rtr::DeltaFileInfo> info = rtr::ReadDeltaFileInfo(path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("format: delta (rtr-delt v%u)\n", info->version);
+    std::printf("base generation: %llu\n",
+                static_cast<unsigned long long>(info->base_generation));
+    std::printf("added types: %llu\nadded nodes: %llu\n",
+                static_cast<unsigned long long>(info->num_added_types),
+                static_cast<unsigned long long>(info->num_added_nodes));
+    std::printf("removed arcs: %llu\nadded arcs: %llu\n",
+                static_cast<unsigned long long>(info->num_removed_arcs),
+                static_cast<unsigned long long>(info->num_added_arcs));
+    std::printf("payload checksum: %016llx\n",
+                static_cast<unsigned long long>(info->payload_checksum));
+    return 0;
+  }
+  rtr::StatusOr<bool> is_snapshot = rtr::IsSnapshotFile(path);
+  if (!is_snapshot.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 is_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  if (*is_snapshot) {
+    rtr::StatusOr<rtr::SnapshotFileInfo> info =
+        rtr::ReadSnapshotFileInfo(path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("format: snapshot (rtr-snap v%u)\n", info->version);
+    std::printf("generation: %llu\n",
+                static_cast<unsigned long long>(info->generation));
+    std::printf("node types: %llu\nnodes: %llu\narcs: %llu\n",
+                static_cast<unsigned long long>(info->num_types),
+                static_cast<unsigned long long>(info->num_nodes),
+                static_cast<unsigned long long>(info->num_arcs));
+    std::printf("payload checksum: %016llx\n",
+                static_cast<unsigned long long>(info->payload_checksum));
+    return 0;
+  }
+  rtr::StatusOr<Graph> graph = rtr::LoadGraphFromFile(path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("format: text\n");
+  PrintGraphSummary(*graph);
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  Graph graph = LoadGraphOrDie(flags);
+  PrintGraphSummary(graph);
+  return 0;
+}
+
+// `rtr diff <base> <next> <out.rtrdelta>`: structural diff between two
+// append-only graph versions, written as a checksummed delta file whose
+// base_generation comes from the base snapshot's header (0 for text).
+int CmdDiff(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr, "usage: rtr diff <base> <next> <out.rtrdelta>\n");
+    return 2;
+  }
+  uint64_t base_generation = 0;
+  rtr::StatusOr<Graph> base = rtr::LoadGraphAuto(argv[2], &base_generation);
+  if (!base.ok()) {
+    std::fprintf(stderr, "cannot load base: %s\n",
+                 base.status().ToString().c_str());
+    return 1;
+  }
+  rtr::StatusOr<Graph> next = rtr::LoadGraphAuto(argv[3]);
+  if (!next.ok()) {
+    std::fprintf(stderr, "cannot load next: %s\n",
+                 next.status().ToString().c_str());
+    return 1;
+  }
+  rtr::StatusOr<rtr::GraphDelta> delta = rtr::DiffGraphs(*base, *next);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+    return 1;
+  }
+  delta->base_generation = base_generation;
+  rtr::Status saved = rtr::SaveGraphDeltaToFile(*delta, argv[4]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: base generation %llu, +%zu nodes, -%zu/+%zu arcs\n",
+              argv[4], static_cast<unsigned long long>(base_generation),
+              delta->added_node_types.size(), delta->removed_arcs.size(),
+              delta->added_arcs.size());
+  return 0;
+}
+
+// `rtr apply-delta <base> <delta> [<delta> ...] <out.rtrsnap>`: replays
+// delta files in order onto the base through a GraphStore (so the
+// generation handshake is enforced) and writes the final generation as a
+// v2 binary snapshot.
+int CmdApplyDelta(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: rtr apply-delta <base> <delta> [<delta> ...] "
+                 "<out.rtrsnap>\n");
+    return 2;
+  }
+  rtr::StatusOr<std::unique_ptr<rtr::GraphStore>> store =
+      rtr::GraphStore::Open(argv[2]);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open base: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  for (int i = 3; i < argc - 1; ++i) {
+    rtr::StatusOr<uint64_t> generation = (*store)->CatchUp(argv[i]);
+    if (!generation.ok()) {
+      std::fprintf(stderr, "applying %s: %s\n", argv[i],
+                   generation.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("applied %s -> generation %llu\n", argv[i],
+                static_cast<unsigned long long>(*generation));
+  }
+  rtr::PinnedGraph current = (*store)->Pin();
+  rtr::Status saved = rtr::SaveGraphSnapshotToFile(
+      *current.graph, argv[argc - 1], current.generation);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: generation %llu, %zu nodes, %zu arcs\n",
+              argv[argc - 1],
+              static_cast<unsigned long long>(current.generation),
+              current.graph->num_nodes(), current.graph->num_arcs());
   return 0;
 }
 
@@ -336,13 +495,19 @@ int CmdServe(const Flags& flags) {
   // The served graph: an explicit --graph file, or the synthetic QLog
   // (whose phrase nodes make a natural query stream). The QLog stays alive
   // so its graph is referenced, not copied.
-  Graph loaded_graph;
+  std::shared_ptr<const Graph> graph_sp;
+  uint64_t generation = 0;
   std::unique_ptr<rtr::datasets::QLog> qlog;
-  const Graph* graph = nullptr;
   std::vector<NodeId> query_pool_source;  // candidate query nodes
   if (flags.Has("graph")) {
-    loaded_graph = LoadGraphOrDie(flags);
-    graph = &loaded_graph;
+    rtr::StatusOr<Graph> loaded =
+        rtr::LoadGraphAuto(flags.GetString("graph", ""), &generation);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load graph: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph_sp = std::make_shared<const Graph>(std::move(loaded).value());
   } else {
     rtr::datasets::QLogConfig config;
     uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
@@ -354,9 +519,11 @@ int CmdServe(const Flags& flags) {
     }
     qlog = std::make_unique<rtr::datasets::QLog>(
         std::move(generated).value());
-    graph = &qlog->graph();
-    query_pool_source = graph->NodesOfType(qlog->phrase_type());
+    // Aliasing shared_ptr: the QLog owns its graph for the whole run.
+    graph_sp = {std::shared_ptr<const Graph>{}, &qlog->graph()};
+    query_pool_source = graph_sp->NodesOfType(qlog->phrase_type());
   }
+  const Graph* graph = graph_sp.get();
 
   int num_queries = flags.GetInt("queries", 200);
   double target_qps = flags.GetDouble("qps", 200.0);
@@ -419,26 +586,43 @@ int CmdServe(const Flags& flags) {
     pool.push_back(q);
   }
 
+  // Delta files a writer thread applies mid-replay (comma-separated, in
+  // generation order). Every backend serves through a GraphStore, so the
+  // swap path is identical with and without deltas.
+  std::vector<std::string> delta_paths;
+  if (flags.Has("delta")) {
+    std::string list = flags.GetString("delta", "");
+    size_t begin = 0;
+    while (begin < list.size()) {
+      size_t comma = list.find(',', begin);
+      if (comma == std::string::npos) comma = list.size();
+      if (comma > begin) delta_paths.push_back(list.substr(begin, comma - begin));
+      begin = comma + 1;
+    }
+  }
+
   std::string backend = flags.GetString("backend", "local");
-  std::unique_ptr<rtr::dist::Cluster> cluster;
+  auto store = std::make_shared<rtr::GraphStore>(graph_sp, generation);
   std::unique_ptr<rtr::serve::QueryService> service;
   if (backend == "local") {
-    service = std::make_unique<rtr::serve::QueryService>(*graph, options);
+    service = std::make_unique<rtr::serve::QueryService>(store, options);
   } else if (backend == "dist") {
-    cluster = std::make_unique<rtr::dist::Cluster>(*graph, num_gps);
-    service = std::make_unique<rtr::serve::QueryService>(*cluster, options);
+    service =
+        std::make_unique<rtr::serve::QueryService>(store, num_gps, options);
   } else {
     std::fprintf(stderr, "unknown backend '%s' (local|dist)\n",
                  backend.c_str());
     return 2;
   }
 
-  std::printf("serving %zu-node graph: %d queries at %.0f QPS, %d workers, "
-              "queue %zu, cache %s, backend %s, kernel threads %d\n",
-              graph->num_nodes(), num_queries, target_qps,
-              options.num_workers, options.queue_capacity,
+  std::printf("serving %zu-node graph (generation %llu): %d queries at "
+              "%.0f QPS, %d workers, queue %zu, cache %s, backend %s, "
+              "kernel threads %d, %zu pending deltas\n",
+              graph->num_nodes(),
+              static_cast<unsigned long long>(generation), num_queries,
+              target_qps, options.num_workers, options.queue_capacity,
               options.enable_cache ? "on" : "off", backend.c_str(),
-              rtr::util::NumThreads());
+              rtr::util::NumThreads(), delta_paths.size());
 
   rtr::Status status = service->Start();
   if (!status.ok()) {
@@ -449,6 +633,38 @@ int CmdServe(const Flags& flags) {
   std::atomic<int> done_count{0};
   auto interval = std::chrono::duration<double>(1.0 / target_qps);
   auto start = std::chrono::steady_clock::now();
+
+  // The ingestion writer: spaces the delta applications evenly across the
+  // replay window so swaps land while queries are in flight. Readers are
+  // never blocked — CatchUp builds the next generation off the reader lock
+  // and publishes it with a pointer swap.
+  std::atomic<bool> delta_failed{false};
+  std::thread delta_writer;
+  if (!delta_paths.empty()) {
+    double window_seconds = num_queries / target_qps;
+    delta_writer = std::thread([&store, &delta_paths, &delta_failed,
+                                window_seconds, start] {
+      for (size_t i = 0; i < delta_paths.size(); ++i) {
+        std::this_thread::sleep_until(
+            start +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    window_seconds * static_cast<double>(i + 1) /
+                    static_cast<double>(delta_paths.size() + 1))));
+        rtr::StatusOr<uint64_t> next = store->CatchUp(delta_paths[i]);
+        if (!next.ok()) {
+          std::fprintf(stderr, "delta %s: %s\n", delta_paths[i].c_str(),
+                       next.status().ToString().c_str());
+          delta_failed.store(true);
+          return;
+        }
+        std::printf("  [swap] %s -> generation %llu\n",
+                    delta_paths[i].c_str(),
+                    static_cast<unsigned long long>(*next));
+      }
+    });
+  }
+
   int accepted = 0;
   for (int i = 0; i < num_queries; ++i) {
     std::this_thread::sleep_until(
@@ -461,6 +677,7 @@ int CmdServe(const Flags& flags) {
         });
     if (submitted.ok()) ++accepted;
   }
+  if (delta_writer.joinable()) delta_writer.join();
   service->Shutdown();  // drains everything admitted
 
   rtr::serve::ServiceStats stats = service->stats();
@@ -473,24 +690,37 @@ int CmdServe(const Flags& flags) {
               stats.p50_millis, stats.p95_millis, stats.p99_millis,
               service->latencies().MaxMillis());
   uint64_t lookups = stats.cache_hits + stats.cache_misses;
-  std::printf("  cache: %llu hits / %llu lookups (%.1f%%), %llu evictions\n",
+  std::printf("  cache: %llu hits / %llu lookups (%.1f%%), %llu insertions, "
+              "%llu evictions, %llu invalidations\n",
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(lookups),
               lookups == 0 ? 0.0 : 100.0 * stats.cache_hits / lookups,
-              static_cast<unsigned long long>(stats.cache_evictions));
+              static_cast<unsigned long long>(stats.cache_insertions),
+              static_cast<unsigned long long>(stats.cache_evictions),
+              static_cast<unsigned long long>(stats.cache_invalidations));
+  std::printf("  generations: served up to %llu (%llu swaps, %zu live)\n",
+              static_cast<unsigned long long>(stats.generation),
+              static_cast<unsigned long long>(store->swap_count()),
+              store->live_generations());
   std::printf("  SLO (%.1f ms): %llu violations / %llu completed\n",
               options.slo_millis,
               static_cast<unsigned long long>(stats.slo_violations),
               static_cast<unsigned long long>(stats.completed));
+  if (delta_failed.load()) return 1;
   return done_count.load() == accepted ? 0 : 1;
 }
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: rtr <generate|convert|info|rank|topk|serve> [--flag "
-               "value ...]\n"
+               "usage: rtr <generate|convert|info|diff|apply-delta|rank|"
+               "topk|serve> [--flag value ...]\n"
                "       rtr convert <in> <out>   (text <-> binary snapshot, "
                "auto-detected)\n"
+               "       rtr info <file>          (snapshot/delta header, or "
+               "text graph summary)\n"
+               "       rtr diff <base> <next> <out.rtrdelta>\n"
+               "       rtr apply-delta <base> <delta> [<delta> ...] "
+               "<out.rtrsnap>\n"
                "see the header of tools/rtr_cli.cc for details\n");
 }
 
@@ -511,9 +741,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::string command = argv[1];
-  // convert takes positionals, so it must dispatch before the strict
-  // --flag/value parser runs.
+  // convert/diff/apply-delta take positionals, so they dispatch before the
+  // strict --flag/value parser runs; info accepts both forms.
   if (command == "convert") return CmdConvert(argc, argv);
+  if (command == "diff") return CmdDiff(argc, argv);
+  if (command == "apply-delta") return CmdApplyDelta(argc, argv);
+  if (command == "info" && argc == 3 &&
+      std::strncmp(argv[2], "--", 2) != 0) {
+    return CmdInfoPath(argv[2]);
+  }
   Flags flags(argc, argv, 2);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "info") return CmdInfo(flags);
