@@ -17,6 +17,7 @@
 #include "core/two_stage.h"
 #include "core/twosbound.h"
 #include "core/workspace.h"
+#include "obs/trace.h"
 #include "graph/builder.h"
 #include "ranking/pagerank.h"
 #include "util/parallel_for.h"
@@ -192,6 +193,35 @@ void BM_TopK2SBoundWorkspace(benchmark::State& state) {
                 static_cast<double>(iterations);
 }
 BENCHMARK(BM_TopK2SBoundWorkspace)->Arg(1)->Arg(3);
+
+// The serving hot path with a TraceRecorder attached (DESIGN.md §9): the
+// engine reads the clock at its geometric check boundaries instead of per
+// round, so the traced run should stay within a few percent of the
+// untraced one — BENCH_topk.json records both. With the recorder detached
+// the engine's only extra work is one pointer test per boundary, which is
+// below benchmark noise.
+void BM_TopK2SBoundWorkspaceTraced(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  rtr::core::TopKParams params;
+  params.k = 10;
+  params.epsilon = 0.01 * static_cast<double>(state.range(0));
+  rtr::core::QueryWorkspace ws;
+  rtr::obs::TraceRecorder trace;
+  ws.trace = &trace;
+  rtr::core::TopKResult result;
+  rtr::Query query(1);
+  query[0] = 0;
+  int64_t query_id = 0;
+  for (auto _ : state) {
+    trace.BeginQuery(query_id++);
+    rtr::Status status =
+        rtr::core::TopKRoundTripRank(g, query, params, ws, &result);
+    benchmark::DoNotOptimize(status.ok());
+    benchmark::DoNotOptimize(trace.spans().size());
+    query[0] = (query[0] + 37) % static_cast<NodeId>(g.num_nodes());
+  }
+}
+BENCHMARK(BM_TopK2SBoundWorkspaceTraced)->Arg(1)->Arg(3);
 
 // The exact baseline (kNaive = full FRank/TRank power iteration): the
 // dense path the parallel kernels accelerate. The bench-smoke CI job runs

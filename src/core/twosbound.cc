@@ -1,13 +1,23 @@
 #include "core/twosbound.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "ranking/pagerank.h"
 #include "util/logging.h"
 
 namespace rtr::core {
 namespace {
+
+// Tracing reads the clock only at geometric check boundaries (O(log rounds)
+// reads per query), never inside the per-round Expand loop.
+inline int64_t TraceNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Builds the scheme-specific bounder options.
 FBounderOptions MakeFOptions(const TopKParams& params) {
@@ -134,6 +144,18 @@ Status TopKRoundTripRank(const Graph& g, const Query& query,
   TRankBounder t_bounder(g, query, MakeTOptions(params), &ws);
   const size_t k = static_cast<size_t>(params.k);
 
+  // Expansion rounds between check boundaries accrue to the Stage I span;
+  // the Refine + bounds-evaluation section at each boundary accrues to the
+  // Stage II span. `segment_start` carries the running segment's origin.
+  obs::TraceRecorder* const trace = ws.trace;
+  int64_t segment_start = trace != nullptr ? TraceNowNanos() : 0;
+  auto close_segment = [&](obs::Phase phase) {
+    if (trace == nullptr) return;
+    const int64_t now = TraceNowNanos();
+    trace->AddSpanAt(phase, now, now - segment_start);
+    segment_start = now;
+  };
+
   using Candidate = QueryWorkspace::Candidate;
   std::vector<Candidate>& candidates = ws.candidates;
   // Checking the top-K conditions costs O(|S_f| + |S_t|); schemes with weak
@@ -149,6 +171,7 @@ Status TopKRoundTripRank(const Graph& g, const Query& query,
     if (round < next_check && !exhausted && round < params.max_rounds) {
       continue;
     }
+    close_segment(obs::Phase::kStage1Expand);
     next_check = std::max(next_check + 1,
                           static_cast<int>(next_check * 1.25));
     // Bound initialization + Stage II refinement cost O(|neighborhood|), so
@@ -215,6 +238,7 @@ Status TopKRoundTripRank(const Graph& g, const Query& query,
           result->entries.push_back(
               {candidates[i].node, candidates[i].lower, candidates[i].upper});
         }
+        close_segment(obs::Phase::kStage2Refine);
         break;
       }
     }
@@ -226,11 +250,13 @@ Status TopKRoundTripRank(const Graph& g, const Query& query,
             {candidates[i].node, candidates[i].lower, candidates[i].upper});
       }
     }
+    close_segment(obs::Phase::kStage2Refine);
   }
 
   // Active set accounting (Sect. V-B1): nodes of either neighborhood plus
   // their incident arcs. Sorted union of the two seen lists — O(s log s) in
   // the active-set size instead of the former O(num_nodes) scan.
+  obs::ScopedSpan finalize_span(trace, obs::Phase::kFinalize);
   std::vector<NodeId>& active = ws.active_scratch;
   active.assign(f_bounder.seen().begin(), f_bounder.seen().end());
   active.insert(active.end(), t_bounder.seen().begin(),

@@ -35,6 +35,10 @@
 #include "graph/types.h"
 #include "util/logging.h"
 
+namespace rtr::obs {
+class TraceRecorder;
+}  // namespace rtr::obs
+
 namespace rtr::core {
 
 // Epoch-stamped membership set over [0, n): Test(i) is true iff Set(i) was
@@ -226,6 +230,12 @@ class QueryWorkspace {
   };
   std::vector<Candidate> candidates;
   std::vector<NodeId> active_scratch;  // S_f ∪ S_t accounting
+
+  // Optional per-query trace recorder (obs/trace.h), owned by the caller
+  // and untouched by BeginQuery. Null by default: every instrumentation
+  // site in the engine is a single pointer test when tracing is off, which
+  // preserves the zero-allocation steady-state contract above.
+  obs::TraceRecorder* trace = nullptr;
 
   // --- exact / naive baseline -------------------------------------------
   std::vector<double> exact_f;

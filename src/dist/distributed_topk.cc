@@ -43,6 +43,7 @@ GraphProcessor::GraphProcessor(const Graph& g, int id, int num_gps)
 
 Status GraphProcessor::Fetch(const std::vector<NodeId>& nodes,
                              std::vector<NodeRecord>* out) const {
+  fetch_requests_.Add(1);
   out->reserve(out->size() + nodes.size());
   for (NodeId v : nodes) {
     if (!Owns(v)) {
@@ -72,6 +73,8 @@ Status GraphProcessor::Fetch(const std::vector<NodeId>& nodes,
                              in_weights_.begin() + in_offsets_[i + 1]);
     record.in_probs.assign(in_probs_.begin() + in_offsets_[i],
                            in_probs_.begin() + in_offsets_[i + 1]);
+    records_served_.Add(1);
+    bytes_served_.Add(record.WireBytes());
     out->push_back(std::move(record));
   }
   return Status::OK();
@@ -87,6 +90,24 @@ Cluster::Cluster(std::shared_ptr<const Graph> graph, int num_gps,
     gps_.emplace_back(*graph_, id, num_gps);
     total_stored_bytes_ += gps_.back().stored_bytes();
   }
+}
+
+uint64_t Cluster::total_fetch_requests() const {
+  uint64_t total = 0;
+  for (const GraphProcessor& gp : gps_) total += gp.fetch_requests();
+  return total;
+}
+
+uint64_t Cluster::total_records_served() const {
+  uint64_t total = 0;
+  for (const GraphProcessor& gp : gps_) total += gp.records_served();
+  return total;
+}
+
+uint64_t Cluster::total_bytes_served() const {
+  uint64_t total = 0;
+  for (const GraphProcessor& gp : gps_) total += gp.bytes_served();
+  return total;
 }
 
 StatusOr<std::unique_ptr<Cluster>> Cluster::FromGraphFile(

@@ -15,7 +15,9 @@
 // assembles the active set exclusively out of GP responses, and the returned
 // byte/request counts are measured from those responses, not estimated.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,13 +53,36 @@ struct NodeRecord {
   }
 };
 
+// Relaxed traffic counter that copies/moves by value snapshot, so the
+// structs holding one stay MoveInsertable (Cluster builds its GPs inside a
+// vector). Safe because GPs only move during single-threaded cluster
+// construction, never while Fetch traffic is in flight.
+class ShardCounter {
+ public:
+  ShardCounter() = default;
+  ShardCounter(const ShardCounter& other)
+      : n_(other.n_.load(std::memory_order_relaxed)) {}
+  ShardCounter& operator=(const ShardCounter& other) {
+    n_.store(other.n_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Add(uint64_t delta) { n_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return n_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> n_{0};
+};
+
 // A graph processor owning one stripe of the node set (node v belongs to GP
 // v mod num_gps). Stores the owned nodes' full adjacency in CSR form and
 // serves batched record fetches.
 //
-// Thread safety: immutable after construction; Fetch and the accessors are
-// const and may be called concurrently (the serving layer issues fetches
-// from several worker threads against one cluster).
+// Thread safety: immutable after construction except the traffic counters;
+// Fetch and the accessors are const and may be called concurrently (the
+// serving layer issues fetches from several worker threads against one
+// cluster).
 class GraphProcessor {
  public:
   // Builds the stripe of `g` owned by processor `id` out of `num_gps`.
@@ -77,6 +102,14 @@ class GraphProcessor {
   Status Fetch(const std::vector<NodeId>& nodes,
                std::vector<NodeRecord>* out) const;
 
+  // Cumulative traffic served by this GP since construction (the per-shard
+  // series the future RPC tier's backpressure will read). A serving layer
+  // that restripes per generation must accumulate these before dropping
+  // the cluster (serve::QueryService does).
+  uint64_t fetch_requests() const { return fetch_requests_.value(); }
+  uint64_t records_served() const { return records_served_.value(); }
+  uint64_t bytes_served() const { return bytes_served_.value(); }
+
  private:
   int id_ = 0;
   int num_gps_ = 1;
@@ -92,6 +125,10 @@ class GraphProcessor {
   std::vector<double> in_weights_;
   std::vector<double> in_probs_;
   size_t stored_bytes_ = 0;
+  // Served-traffic counters; mutable because Fetch is logically const.
+  mutable ShardCounter fetch_requests_;
+  mutable ShardCounter records_served_;
+  mutable ShardCounter bytes_served_;
 };
 
 // A set of graph processors jointly storing one generation of one graph,
@@ -131,6 +168,11 @@ class Cluster {
 
   // Sum of all GPs' stored bytes — the cluster-wide snapshot size.
   size_t total_stored_bytes() const { return total_stored_bytes_; }
+
+  // Cluster-wide traffic since construction (sums the per-GP counters).
+  uint64_t total_fetch_requests() const;
+  uint64_t total_records_served() const;
+  uint64_t total_bytes_served() const;
 
  private:
   std::shared_ptr<const Graph> graph_;

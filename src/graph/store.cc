@@ -12,6 +12,22 @@ GraphStore::GraphStore(std::shared_ptr<const Graph> initial,
   CHECK(initial != nullptr) << "GraphStore needs an initial generation";
   current_ = std::make_shared<const Generation>(
       Generation{generation, std::move(initial)});
+  // Lifecycle series for the exposition: the current generation id, how
+  // many generations were published here, how many are still pinned by
+  // in-flight readers, and the pin rate. Callbacks take mu_ (registry
+  // mutex -> mu_; nothing takes them in the other order).
+  auto& registry = obs::MetricsRegistry::Default();
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_store_pins_total", {}, &pins_));
+  registrations_.push_back(registry.RegisterCallbackGauge(
+      "rtr_store_generation", {},
+      [this] { return static_cast<double>(this->generation()); }));
+  registrations_.push_back(registry.RegisterCallbackCounter(
+      "rtr_store_generations_published_total", {},
+      [this] { return this->swap_count(); }));
+  registrations_.push_back(registry.RegisterCallbackGauge(
+      "rtr_store_live_generations", {},
+      [this] { return static_cast<double>(this->live_generations()); }));
 }
 
 GraphStore::GraphStore(Graph initial, uint64_t generation)
@@ -27,6 +43,7 @@ StatusOr<std::unique_ptr<GraphStore>> GraphStore::Open(
 }
 
 PinnedGraph GraphStore::Pin() const {
+  pins_.Increment();
   std::shared_ptr<const Generation> current;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -65,16 +82,26 @@ size_t GraphStore::live_generations() const {
 
 void GraphStore::PublishLocked(Generation next) {
   auto published = std::make_shared<const Generation>(std::move(next));
-  std::lock_guard<std::mutex> lock(mu_);
-  // Compact drained entries so the retire list tracks only generations a
-  // reader can still touch.
-  std::erase_if(retired_,
-                [](const std::weak_ptr<const Generation>& retired) {
-                  return retired.expired();
-                });
-  retired_.push_back(current_);
-  current_ = std::move(published);
-  ++swap_count_;
+  const uint64_t id = published->id;
+  const size_t nodes = published->graph->num_nodes();
+  const size_t arcs = published->graph->num_arcs();
+  size_t still_pinned = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Compact drained entries so the retire list tracks only generations a
+    // reader can still touch.
+    std::erase_if(retired_,
+                  [](const std::weak_ptr<const Generation>& retired) {
+                    return retired.expired();
+                  });
+    retired_.push_back(current_);
+    current_ = std::move(published);
+    ++swap_count_;
+    still_pinned = retired_.size();
+  }
+  LOG(INFO) << "published generation " << id << " (" << nodes << " nodes, "
+            << arcs << " arcs); " << still_pinned
+            << " retired generation(s) awaiting reader drain";
 }
 
 StatusOr<uint64_t> GraphStore::Apply(const GraphDelta& delta) {
@@ -83,6 +110,9 @@ StatusOr<uint64_t> GraphStore::Apply(const GraphDelta& delta) {
   // between this check and the publish below.
   PinnedGraph base = Pin();
   if (delta.base_generation != base.generation) {
+    LOG(WARNING) << "rejecting stale delta: targets generation "
+                 << delta.base_generation << ", store is at "
+                 << base.generation;
     return Status::FailedPrecondition(
         "delta targets generation " + std::to_string(delta.base_generation) +
         " but the store is at " + std::to_string(base.generation));

@@ -36,6 +36,7 @@
 
 #include "graph/delta.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace rtr {
@@ -108,6 +109,11 @@ class GraphStore {
   // expired entry means every reader of that generation has drained.
   std::vector<std::weak_ptr<const Generation>> retired_;
   uint64_t swap_count_ = 0;
+  // Generation lifecycle metrics (rtr_store_*); the registry merges the
+  // series of every store in the process. Declared after the state the
+  // callback gauges read, before registrations_ (which must die first).
+  mutable obs::Counter pins_;
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace rtr

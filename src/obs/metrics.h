@@ -1,0 +1,219 @@
+#ifndef RTR_OBS_METRICS_H_
+#define RTR_OBS_METRICS_H_
+
+// Process-wide metrics registry (DESIGN.md §9).
+//
+// The serving tier used to expose counters through bespoke structs
+// (ServiceStats, CacheStats) that every consumer printed its own way. This
+// registry is the one place those signals meet: subsystems register named
+// metrics once at setup time, keep writing them lock-free on their hot
+// paths, and any reader renders a consistent-enough snapshot of everything
+// at once — as a Prometheus-style text exposition (RenderText) or as JSON
+// (RenderJson).
+//
+// Three metric shapes:
+//  * Counter   — monotonic u64, one relaxed fetch_add per bump;
+//  * Gauge     — settable f64 (atomic store / CAS add);
+//  * Histogram — util::LatencyHistogram (wait-free bucketed samples).
+//
+// Two registration styles:
+//  * registry-owned, get-or-create (`GetCounter(name, labels)`): the metric
+//    lives as long as the registry and the same (name, labels, kind) always
+//    returns the same pointer — the right shape for process-global
+//    subsystems like the util::ParallelFor pool;
+//  * borrowed (`RegisterCounter(name, labels, &my_counter)`): the caller
+//    owns the metric as an ordinary member and the returned RAII
+//    Registration unregisters it on destruction — the right shape for
+//    components with their own lifetime (serve::QueryService registers its
+//    per-service counters this way and keeps ServiceStats as a snapshot
+//    view over them). Callback gauges/counters sample a closure at render
+//    time for values that are derived rather than stored (generation ids,
+//    cache occupancy, QPS).
+//
+// Duplicate series (same name + labels, e.g. two QueryServices in one test
+// process) are legal at registration and merged at render time: counters
+// and gauges sum, histograms merge bucket-wise — the exposition never emits
+// the same series twice (tests/cli/rtr_cli_metrics_test.sh checks this).
+//
+// Thread safety: metric writes are lock-free and may race renders freely
+// (the TSan job covers many writers + a rendering reader). Registration,
+// unregistration, and rendering serialize on one mutex. Render-time
+// callbacks run under that mutex and therefore must not call back into the
+// registry.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/latency_histogram.h"
+
+namespace rtr::obs {
+
+// Sorted-by-construction label set. Keep values short and low-cardinality
+// (backend names, phase names, shard ids) — every distinct label set is one
+// series in the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonic counter. Wait-free writes; value() may be read concurrently.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins double gauge; Add is a CAS loop (gauges are not hot-path
+// metrics — hot paths use counters and histograms).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(seen, seen + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // RAII handle for a borrowed registration: unregisters on destruction,
+  // so a component's metrics disappear from the exposition exactly when
+  // the component does. Movable, not copyable; a default-constructed
+  // handle is empty.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    Registration& operator=(Registration&& other) noexcept;
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { Release(); }
+
+    void Release();
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+
+    MetricsRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry (leaked on purpose: metrics must stay
+  // writable from worker threads that may outlive static destruction).
+  static MetricsRegistry& Default();
+
+  // Registry-owned metrics, get-or-create by (name, labels): the same key
+  // always returns the same pointer, valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  LatencyHistogram* GetHistogram(const std::string& name, Labels labels = {});
+
+  // Borrowed metrics: `metric` must outlive the returned Registration.
+  [[nodiscard]] Registration RegisterCounter(const std::string& name,
+                                             Labels labels,
+                                             const Counter* metric);
+  [[nodiscard]] Registration RegisterGauge(const std::string& name,
+                                           Labels labels,
+                                           const Gauge* metric);
+  [[nodiscard]] Registration RegisterHistogram(
+      const std::string& name, Labels labels,
+      const LatencyHistogram* metric);
+
+  // Render-time sampled series for derived values. The callback runs under
+  // the registry mutex: it must be cheap and must not call back into the
+  // registry. Callback counters must return monotonically non-decreasing
+  // values (they render as counters).
+  [[nodiscard]] Registration RegisterCallbackGauge(
+      const std::string& name, Labels labels, std::function<double()> fn);
+  [[nodiscard]] Registration RegisterCallbackCounter(
+      const std::string& name, Labels labels, std::function<uint64_t()> fn);
+
+  // Prometheus-style text exposition: `# TYPE` comments, `_total`-suffixed
+  // counter conventions left to the caller's names, histograms as sparse
+  // cumulative `_bucket{le=...}` lines plus `_sum`/`_count`. Series are
+  // sorted by (name, labels) and duplicates are merged, so the output is
+  // deterministic for a given set of values.
+  std::string RenderText() const;
+
+  // The same snapshot as a JSON document: {"metrics": [...]}, histograms
+  // with count/sum/max/p50/p95/p99 and sparse cumulative buckets.
+  std::string RenderJson() const;
+
+  // Registered series count (before duplicate merging); test hook.
+  size_t NumSeries() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallbackGauge,
+                    kCallbackCounter };
+
+  struct Entry {
+    uint64_t id = 0;
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LatencyHistogram* histogram = nullptr;
+    std::function<double()> gauge_fn;
+    std::function<uint64_t()> counter_fn;
+  };
+
+  // One merged series, sampled under the mutex.
+  struct Sample {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    LatencyHistogram::Snapshot histogram_value;
+  };
+
+  Registration Add(Entry entry);
+  void Remove(uint64_t id);
+  // Sampled, merged, sorted view of every series (locks mu_).
+  std::vector<Sample> Collect() const;
+
+  friend class Registration;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  // Stable storage for registry-owned metrics (deques never relocate).
+  std::deque<Counter> owned_counters_;
+  std::deque<Gauge> owned_gauges_;
+  std::deque<LatencyHistogram> owned_histograms_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace rtr::obs
+
+#endif  // RTR_OBS_METRICS_H_

@@ -36,6 +36,8 @@ QueryService::QueryService(std::shared_ptr<GraphStore> store,
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
   last_seen_generation_.store(store_->generation(),
                               std::memory_order_relaxed);
+  tracing_.store(options_.enable_tracing, std::memory_order_relaxed);
+  RegisterMetrics();
 }
 
 QueryService::QueryService(std::shared_ptr<const dist::Cluster> cluster,
@@ -49,6 +51,8 @@ QueryService::QueryService(std::shared_ptr<const dist::Cluster> cluster,
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
   last_seen_generation_.store(cluster_->generation(),
                               std::memory_order_relaxed);
+  tracing_.store(options_.enable_tracing, std::memory_order_relaxed);
+  RegisterMetrics();
 }
 
 QueryService::QueryService(std::shared_ptr<GraphStore> store, int num_gps,
@@ -68,6 +72,8 @@ QueryService::QueryService(std::shared_ptr<GraphStore> store, int num_gps,
   cluster_ = std::make_shared<const dist::Cluster>(pinned.graph, num_gps_,
                                                    pinned.generation);
   last_seen_generation_.store(pinned.generation, std::memory_order_relaxed);
+  tracing_.store(options_.enable_tracing, std::memory_order_relaxed);
+  RegisterMetrics();
 }
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::FromGraphFile(
@@ -81,6 +87,113 @@ StatusOr<std::unique_ptr<QueryService>> QueryService::FromGraphFile(
 }
 
 QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::RegisterMetrics() {
+  const obs::Labels labels = {{"backend", BackendName(backend_)}};
+  auto& registry = obs::MetricsRegistry::Default();
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_serve_accepted_total", labels,
+                               &accepted_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_serve_rejected_total", labels, &rejected_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_serve_completed_total", labels, &completed_));
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_serve_failed_total", labels, &failed_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_serve_slo_violations_total", labels, &slo_violations_));
+  registrations_.push_back(registry.RegisterHistogram(
+      "rtr_serve_latency_ms", labels, &latencies_));
+  registrations_.push_back(registry.RegisterCallbackGauge(
+      "rtr_serve_queue_depth", labels, [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<double>(queue_.size());
+      }));
+  registrations_.push_back(registry.RegisterCallbackGauge(
+      "rtr_serve_qps", labels, [this] {
+        double elapsed = 0.0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!started_) return 0.0;
+          elapsed = frozen_elapsed_seconds_ >= 0.0
+                        ? frozen_elapsed_seconds_
+                        : uptime_.ElapsedSeconds();
+        }
+        if (elapsed <= 0.0) return 0.0;
+        return static_cast<double>(completed_.value()) / elapsed;
+      }));
+  registrations_.push_back(registry.RegisterCallbackGauge(
+      "rtr_serve_generation", labels, [this] {
+        return static_cast<double>(
+            last_seen_generation_.load(std::memory_order_relaxed));
+      }));
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    obs::Labels phase_labels = labels;
+    phase_labels.emplace_back("phase",
+                              obs::PhaseName(static_cast<obs::Phase>(p)));
+    registrations_.push_back(registry.RegisterHistogram(
+        "rtr_query_phase_ms", std::move(phase_labels),
+        &phase_latencies_[p]));
+  }
+  if (backend_ != Backend::kDistributed) return;
+  // Per-shard traffic series. The callbacks fold in traffic retired by
+  // dist-live restripes (dist_retired_*) so the counters stay monotone
+  // across generations; cluster_mu_ nests inside the registry mutex.
+  const int num_gps = num_gps_ > 0 ? num_gps_ : cluster_->num_gps();
+  dist_retired_requests_.assign(static_cast<size_t>(num_gps), 0);
+  dist_retired_records_.assign(static_cast<size_t>(num_gps), 0);
+  dist_retired_bytes_.assign(static_cast<size_t>(num_gps), 0);
+  for (int gp = 0; gp < num_gps; ++gp) {
+    const obs::Labels gp_labels = {{"gp", std::to_string(gp)}};
+    const size_t g = static_cast<size_t>(gp);
+    registrations_.push_back(registry.RegisterCallbackCounter(
+        "rtr_dist_fetch_requests_total", gp_labels, [this, g] {
+          std::lock_guard<std::mutex> lock(cluster_mu_);
+          return dist_retired_requests_[g] +
+                 cluster_->gps()[g].fetch_requests();
+        }));
+    registrations_.push_back(registry.RegisterCallbackCounter(
+        "rtr_dist_records_served_total", gp_labels, [this, g] {
+          std::lock_guard<std::mutex> lock(cluster_mu_);
+          return dist_retired_records_[g] +
+                 cluster_->gps()[g].records_served();
+        }));
+    registrations_.push_back(registry.RegisterCallbackCounter(
+        "rtr_dist_bytes_served_total", gp_labels, [this, g] {
+          std::lock_guard<std::mutex> lock(cluster_mu_);
+          return dist_retired_bytes_[g] + cluster_->gps()[g].bytes_served();
+        }));
+  }
+}
+
+void QueryService::RecordTrace(const obs::TraceRecorder& trace,
+                               double total_millis) {
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    const obs::Phase phase = static_cast<obs::Phase>(p);
+    if (trace.PhaseSpanCount(phase) > 0) {
+      phase_latencies_[p].Record(trace.PhaseMillis(phase));
+    }
+  }
+  const size_t keep = std::max<size_t>(1, options_.trace_keep);
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  if (slowest_traces_.size() >= keep &&
+      total_millis <= slowest_traces_.back().first) {
+    return;
+  }
+  auto it = std::upper_bound(
+      slowest_traces_.begin(), slowest_traces_.end(), total_millis,
+      [](double t, const auto& entry) { return t > entry.first; });
+  slowest_traces_.emplace(it, total_millis, trace.ToJson());
+  if (slowest_traces_.size() > keep) slowest_traces_.pop_back();
+}
+
+std::vector<std::string> QueryService::SlowestTraces() const {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  std::vector<std::string> out;
+  out.reserve(slowest_traces_.size());
+  for (const auto& [millis, json] : slowest_traces_) out.push_back(json);
+  return out;
+}
 
 Status QueryService::Start() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -125,8 +238,8 @@ void QueryService::Shutdown() {
     response.status = Status::Unavailable("service shut down before execution");
     response.queue_millis = task.admitted.ElapsedMillis();
     response.total_millis = response.queue_millis;
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.Increment();
+    failed_.Increment();
     if (task.done) task.done(response);
   }
 }
@@ -135,11 +248,11 @@ Status QueryService::SubmitAsync(ServeRequest request, DoneCallback done) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.Increment();
       return Status::Unavailable("service is shutting down");
     }
     if (queue_.size() >= options_.queue_capacity) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.Increment();
       return Status::Unavailable(
           "admission queue full (capacity " +
           std::to_string(options_.queue_capacity) + ")");
@@ -147,7 +260,7 @@ Status QueryService::SubmitAsync(ServeRequest request, DoneCallback done) {
     queue_.push_back(Task{std::move(request), std::move(done), WallTimer()});
     // Count inside the critical section so no observer ever sees a task
     // completed before it was accepted.
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.Increment();
   }
   queue_cv_.notify_one();
   return Status::OK();
@@ -172,6 +285,9 @@ void QueryService::WorkerLoop() {
   // The worker's reusable query arena: sized on the first query, then
   // allocation-free for the rest of the worker's life (DESIGN.md §7).
   core::QueryWorkspace workspace;
+  // The worker's trace recorder, reused across queries; only wired into
+  // the workspace while tracing is on.
+  obs::TraceRecorder trace;
   for (;;) {
     Task task;
     {
@@ -183,16 +299,30 @@ void QueryService::WorkerLoop() {
     }
     ServeResponse response;
     response.queue_millis = task.admitted.ElapsedMillis();
+    const bool traced = tracing_.load(std::memory_order_relaxed);
+    if (traced) {
+      trace.BeginQuery(static_cast<int64_t>(
+          next_query_id_.fetch_add(1, std::memory_order_relaxed)));
+      trace.AddSpan(obs::Phase::kQueueWait,
+                    static_cast<int64_t>(response.queue_millis * 1e6));
+      workspace.trace = &trace;
+    } else {
+      workspace.trace = nullptr;
+    }
     Execute(task.request, &response, &workspace);
     response.total_millis = task.admitted.ElapsedMillis();
+    if (traced) {
+      workspace.trace = nullptr;
+      RecordTrace(trace, response.total_millis);
+    }
     latencies_.Record(response.total_millis);
     if (response.total_millis > options_.slo_millis) {
-      slo_violations_.fetch_add(1, std::memory_order_relaxed);
+      slo_violations_.Increment();
     }
     if (!response.status.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_.Increment();
     }
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.Increment();
     if (task.done) task.done(response);
   }
 }
@@ -216,6 +346,16 @@ PinnedGraph QueryService::PinForQuery(
   PinnedGraph pinned = store_->Pin();
   std::lock_guard<std::mutex> lock(cluster_mu_);
   if (cluster_->generation() < pinned.generation) {
+    // Fold the retired cluster's traffic into the retained totals so the
+    // per-GP callback counters stay monotone across restripes.
+    for (size_t g = 0; g < cluster_->gps().size(); ++g) {
+      const dist::GraphProcessor& gp = cluster_->gps()[g];
+      dist_retired_requests_[g] += gp.fetch_requests();
+      dist_retired_records_[g] += gp.records_served();
+      dist_retired_bytes_[g] += gp.bytes_served();
+    }
+    LOG(INFO) << "restriping generation " << pinned.generation << " across "
+              << num_gps_ << " graph processors";
     cluster_ = std::make_shared<const dist::Cluster>(pinned.graph, num_gps_,
                                                      pinned.generation);
   } else if (cluster_->generation() > pinned.generation) {
@@ -244,7 +384,10 @@ void QueryService::Execute(const ServeRequest& request,
                            ServeResponse* response,
                            core::QueryWorkspace* workspace) {
   std::shared_ptr<const dist::Cluster> cluster;
-  PinnedGraph pinned = PinForQuery(&cluster);
+  PinnedGraph pinned = [&] {
+    obs::ScopedSpan span(workspace->trace, obs::Phase::kGenerationPin);
+    return PinForQuery(&cluster);
+  }();
   ObserveGeneration(pinned.generation);
   response->generation = pinned.generation;
   if (!options_.enable_cache) {
@@ -255,10 +398,13 @@ void QueryService::Execute(const ServeRequest& request,
   CacheKey key = CacheKey::Of(request.query, request.params,
                               pinned.generation);
   // The deep copy into the response happens here, outside the shard lock.
-  if (std::shared_ptr<const core::TopKResult> hit = cache_.Lookup(key)) {
-    response->topk = *hit;
-    response->cache_hit = true;
-    return;
+  {
+    obs::ScopedSpan span(workspace->trace, obs::Phase::kCacheLookup);
+    if (std::shared_ptr<const core::TopKResult> hit = cache_.Lookup(key)) {
+      response->topk = *hit;
+      response->cache_hit = true;
+      return;
+    }
   }
   response->status = RunEngine(request, *pinned.graph, cluster.get(),
                                &response->topk, workspace);
@@ -286,11 +432,11 @@ Status QueryService::RunEngine(const ServeRequest& request,
 
 ServiceStats QueryService::stats() const {
   ServiceStats stats;
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
-  stats.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.value();
+  stats.rejected = rejected_.value();
+  stats.completed = completed_.value();
+  stats.failed = failed_.value();
+  stats.slo_violations = slo_violations_.value();
   CacheStats cache_stats = cache_.stats();
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;

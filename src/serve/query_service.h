@@ -29,6 +29,7 @@
 // newer generation reclaims entries of retired generations
 // (ResultCache::EvictGenerationsBelow).
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -38,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/twosbound.h"
@@ -46,6 +48,8 @@
 #include "graph/graph.h"
 #include "graph/store.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/result_cache.h"
 #include "util/latency_histogram.h"
 #include "util/status.h"
@@ -73,6 +77,13 @@ struct ServiceOptions {
   // Queries slower than this (end-to-end, admission to completion) count as
   // SLO violations in ServiceStats.
   double slo_millis = 100.0;
+  // Per-query phase tracing (obs/trace.h). Off by default: workers then
+  // never touch a TraceRecorder and the engine's trace pointer stays null
+  // (zero overhead beyond one branch per instrumentation site). Togglable
+  // at runtime with SetTracing.
+  bool enable_tracing = false;
+  // How many slowest-query trace dumps to retain for SlowestTraces().
+  size_t trace_keep = 8;
 };
 
 struct ServeRequest {
@@ -193,6 +204,24 @@ class QueryService {
   const LatencyHistogram& latencies() const { return latencies_; }
   const ResultCache& cache() const { return cache_; }
 
+  // Runtime switch for per-query phase tracing; affects queries picked up
+  // after the call. When on, every served query feeds the per-phase
+  // histograms (rtr_query_phase_ms{phase=...}) and competes for a slot in
+  // the slowest-trace ring.
+  void SetTracing(bool enabled) {
+    tracing_.store(enabled, std::memory_order_relaxed);
+  }
+  bool tracing() const { return tracing_.load(std::memory_order_relaxed); }
+
+  // Aggregated per-phase latency across traced queries.
+  const LatencyHistogram& phase_latencies(obs::Phase phase) const {
+    return phase_latencies_[static_cast<size_t>(phase)];
+  }
+
+  // JSON dumps (TraceRecorder::ToJson) of the slowest traced queries,
+  // slowest first, at most options().trace_keep entries.
+  std::vector<std::string> SlowestTraces() const;
+
  private:
   struct Task {
     ServeRequest request;
@@ -204,6 +233,12 @@ class QueryService {
   // DESIGN.md §7) for its whole lifetime, so steady-state cache misses run
   // the engine without O(num_nodes) allocation or zeroing.
   void WorkerLoop();
+  // Registers this service's series with the default metrics registry;
+  // called once from every non-delegating constructor.
+  void RegisterMetrics();
+  // Folds one traced query into the per-phase histograms and the
+  // slowest-trace ring.
+  void RecordTrace(const obs::TraceRecorder& trace, double total_millis);
   // Cache lookup + engine dispatch; fills everything but the timing fields.
   void Execute(const ServeRequest& request, ServeResponse* response,
                core::QueryWorkspace* workspace);
@@ -248,11 +283,32 @@ class QueryService {
   // measured while the pool was live; < 0 while running.
   double frozen_elapsed_seconds_ = -1.0;
 
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> slo_violations_{0};
+  // Service counters double as the registry series (rtr_serve_*, labeled
+  // by backend); ServiceStats stays the snapshot view over them.
+  obs::Counter accepted_;
+  obs::Counter rejected_;
+  obs::Counter completed_;
+  obs::Counter failed_;
+  obs::Counter slo_violations_;
+
+  // Per-query phase tracing: per-phase histograms fed by traced queries,
+  // plus a small ring of the slowest queries' JSON dumps.
+  std::atomic<bool> tracing_{false};
+  std::array<LatencyHistogram, obs::kNumPhases> phase_latencies_;
+  std::atomic<uint64_t> next_query_id_{0};
+  mutable std::mutex traces_mu_;
+  // Sorted slowest-first, capped at options_.trace_keep.
+  std::vector<std::pair<double, std::string>> slowest_traces_;
+
+  // Dist-live restripes drop the retired cluster's ShardCounters; the
+  // per-GP traffic folded in here (guarded by cluster_mu_) keeps the
+  // rtr_dist_* callback counters monotone across generations.
+  std::vector<uint64_t> dist_retired_requests_;
+  std::vector<uint64_t> dist_retired_records_;
+  std::vector<uint64_t> dist_retired_bytes_;
+
+  // Declared last: unregisters before any of the metrics above die.
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace rtr::serve

@@ -48,6 +48,21 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards)
   capacity = std::max<size_t>(1, capacity);
   per_shard_capacity_ =
       (capacity + shards_.size() - 1) / shards_.size();  // ceil
+  // All caches in the process share one series per counter; duplicates
+  // merge at render time (obs/metrics.h).
+  auto& registry = obs::MetricsRegistry::Default();
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_cache_hits_total", {}, &hits_));
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_cache_misses_total", {}, &misses_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_cache_insertions_total", {}, &insertions_));
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_cache_evictions_total", {}, &evictions_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_cache_invalidations_total", {}, &invalidations_));
+  registrations_.push_back(registry.RegisterCallbackGauge(
+      "rtr_cache_entries", {}, [this] { return static_cast<double>(size()); }));
 }
 
 ResultCache::Shard& ResultCache::ShardOf(size_t hash) const {
@@ -60,11 +75,11 @@ std::shared_ptr<const core::TopKResult> ResultCache::Lookup(
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Increment();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Increment();
   return it->second->second;
 }
 
@@ -80,11 +95,11 @@ void ResultCache::Insert(const CacheKey& key, core::TopKResult result) {
   }
   shard.lru.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.Increment();
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Increment();
   }
 }
 
@@ -102,7 +117,7 @@ size_t ResultCache::EvictGenerationsBelow(uint64_t floor) {
       }
     }
   }
-  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  invalidations_.Add(dropped);
   return dropped;
 }
 
@@ -117,11 +132,11 @@ size_t ResultCache::size() const {
 
 CacheStats ResultCache::stats() const {
   CacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.hits = hits_.value();
+  stats.misses = misses_.value();
+  stats.insertions = insertions_.value();
+  stats.evictions = evictions_.value();
+  stats.invalidations = invalidations_.value();
   return stats;
 }
 

@@ -19,6 +19,7 @@
 
 #include "core/twosbound.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 
 namespace rtr::serve {
 
@@ -116,11 +117,15 @@ class ResultCache {
 
   size_t per_shard_capacity_;
   mutable std::vector<Shard> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> invalidations_{0};
+  // Counters double as the cache's metrics-registry series
+  // (rtr_cache_*_total); CacheStats stays as a snapshot view over them.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter insertions_;
+  obs::Counter evictions_;
+  obs::Counter invalidations_;
+  // Declared last: unregisters before the counters above are destroyed.
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace rtr::serve

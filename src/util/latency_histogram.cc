@@ -35,6 +35,68 @@ void LatencyHistogram::Record(double millis) {
   }
 }
 
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum_millis = sum_millis_.load(std::memory_order_relaxed);
+  snapshot.max_millis = MaxMillis();
+  return snapshot;
+}
+
+void LatencyHistogram::MergeFrom(const Snapshot& snapshot) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (snapshot.buckets[i] != 0) {
+      buckets_[i].fetch_add(snapshot.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snapshot.count, std::memory_order_relaxed);
+  sum_millis_.fetch_add(snapshot.sum_millis, std::memory_order_relaxed);
+  uint64_t nanos = static_cast<uint64_t>(snapshot.max_millis * 1e6);
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Snapshot::Merge(const Snapshot& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_millis += other.sum_millis;
+  max_millis = std::max(max_millis, other.max_millis);
+}
+
+double LatencyHistogram::Snapshot::MeanMillis() const {
+  return count == 0 ? 0.0 : sum_millis / static_cast<double>(count);
+}
+
+double LatencyHistogram::Snapshot::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  // Documented zero-sample contract: an empty histogram has no quantile
+  // sample to bound, so the estimate is exactly 0.
+  if (total == 0) return 0.0;
+  // Rank of the quantile sample, 1-based; q = 0 means the first sample.
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The true sample lies within the bucket; report its upper edge but
+      // never beyond the largest recorded value. The last bucket is
+      // open-ended, so its only meaningful upper edge is the max itself.
+      if (i + 1 == kNumBuckets) return max_millis;
+      return std::min(BucketLowerEdge(i + 1), max_millis);
+    }
+  }
+  return max_millis;
+}
+
 double LatencyHistogram::MeanMillis() const {
   uint64_t n = Count();
   return n == 0 ? 0.0 : sum_millis_.load(std::memory_order_relaxed) /
@@ -46,29 +108,7 @@ double LatencyHistogram::MaxMillis() const {
 }
 
 double LatencyHistogram::Percentile(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
-  std::array<uint64_t, kNumBuckets> counts;
-  uint64_t total = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0.0;
-  // Rank of the quantile sample, 1-based; q = 0 means the first sample.
-  uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += counts[i];
-    if (seen >= rank) {
-      // The true sample lies within the bucket; report its upper edge but
-      // never beyond the largest recorded value. The last bucket is
-      // open-ended, so its only meaningful upper edge is the max itself.
-      if (i + 1 == kNumBuckets) return MaxMillis();
-      return std::min(BucketLowerEdge(i + 1), MaxMillis());
-    }
-  }
-  return MaxMillis();
+  return TakeSnapshot().Percentile(q);
 }
 
 }  // namespace rtr

@@ -15,6 +15,13 @@ namespace rtr {
 // allocation. Any number of threads may Record concurrently with readers;
 // readers see a (possibly slightly stale) consistent-enough view, which is
 // all latency reporting needs.
+//
+// TakeSnapshot() copies the bucket state into a plain, copyable Snapshot
+// that supports Merge(): per-worker histograms can be aggregated into one
+// (e.g. by the obs::MetricsRegistry renderer) without any global lock on
+// the record path — merging integer bucket counts is exact, so percentiles
+// of a merged snapshot equal percentiles of a single histogram fed the
+// union of the samples (tests/util/latency_histogram_test.cc).
 class LatencyHistogram {
  public:
   // Bucket i covers millis in [kMinMillis * kGrowth^i, kMinMillis *
@@ -24,6 +31,34 @@ class LatencyHistogram {
   static constexpr double kGrowth = 1.25;
   static constexpr size_t kNumBuckets = 96;
 
+  // A point-in-time copy of a histogram's state: plain data, copyable and
+  // mergeable. All derived figures (percentiles, mean) are computed the
+  // same way as on the live histogram.
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count = 0;
+    double sum_millis = 0.0;
+    double max_millis = 0.0;
+
+    // Adds `other`'s samples to this snapshot. Bucket counts and count are
+    // exact integer sums; sum_millis is a float sum (mean may differ from
+    // a single-stream histogram by rounding), max is the max of maxes.
+    void Merge(const Snapshot& other);
+
+    // Mean of the recorded samples; 0 when empty.
+    double MeanMillis() const;
+
+    // Upper edge of the bucket holding the q-quantile sample (q clamped to
+    // [0, 1]), i.e. an estimate overshooting the true quantile by at most
+    // a factor of kGrowth, capped at the recorded max. An EMPTY snapshot
+    // (count == 0) returns exactly 0.0 — callers rendering percentiles of
+    // idle histograms rely on this explicit zero-sample contract.
+    double Percentile(double q) const;
+    double P50() const { return Percentile(0.50); }
+    double P95() const { return Percentile(0.95); }
+    double P99() const { return Percentile(0.99); }
+  };
+
   LatencyHistogram();
 
   LatencyHistogram(const LatencyHistogram&) = delete;
@@ -32,8 +67,23 @@ class LatencyHistogram {
   // Records one latency sample. Negative samples count as 0. Wait-free.
   void Record(double millis);
 
+  // Copies the current state. Concurrent Records may or may not be
+  // included (each sample is counted at most once per field, but a
+  // snapshot racing a Record can see the bucket bump without the sum).
+  Snapshot TakeSnapshot() const;
+
+  // Adds every sample of `snapshot` to this histogram, as if the samples
+  // had been Recorded here (bucket-exact; see Snapshot::Merge). Used to
+  // drain per-worker histograms into a shared one.
+  void MergeFrom(const Snapshot& snapshot);
+
   // Total samples recorded.
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Sum of all recorded samples in millis; 0 when empty.
+  double SumMillis() const {
+    return sum_millis_.load(std::memory_order_relaxed);
+  }
 
   // Mean of all recorded samples; 0 when empty.
   double MeanMillis() const;
@@ -41,15 +91,15 @@ class LatencyHistogram {
   // Largest recorded sample (exact, not bucketed); 0 when empty.
   double MaxMillis() const;
 
-  // Upper edge of the bucket holding the q-quantile sample (q in [0, 1]),
-  // i.e., an estimate overshooting the true quantile by at most a factor of
-  // kGrowth. Returns 0 when empty. P50/P95/P99 are shorthands.
+  // Percentile estimate (see Snapshot::Percentile). An empty histogram
+  // returns exactly 0.0. P50/P95/P99 are shorthands.
   double Percentile(double q) const;
   double P50() const { return Percentile(0.50); }
   double P95() const { return Percentile(0.95); }
   double P99() const { return Percentile(0.99); }
 
-  // Lower edge of bucket i, in millis (exposed for tests).
+  // Lower edge of bucket i, in millis (exposed for tests and the
+  // exposition renderer's `le` bucket bounds).
   static double BucketLowerEdge(size_t i);
 
  private:

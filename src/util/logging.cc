@@ -1,0 +1,94 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace rtr {
+namespace internal_logging {
+namespace {
+
+LogSeverity ParseThreshold(const char* value) {
+  if (value == nullptr || value[0] == '\0') return LogSeverity::kWarning;
+  std::string lowered;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lowered == "info" || lowered == "debug") return LogSeverity::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogSeverity::kWarning;
+  if (lowered == "error") return LogSeverity::kError;
+  if (lowered == "off" || lowered == "none") return LogSeverity::kOff;
+  return LogSeverity::kWarning;
+}
+
+std::atomic<int>& ThresholdStorage() {
+  static std::atomic<int> threshold{
+      static_cast<int>(ParseThreshold(std::getenv("RTR_LOG_LEVEL")))};
+  return threshold;
+}
+
+char SeverityLetter(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return 'I';
+    case LogSeverity::kWarning:
+      return 'W';
+    case LogSeverity::kError:
+      return 'E';
+    case LogSeverity::kOff:
+      break;
+  }
+  return '?';
+}
+
+// file.cc from a full path, matching the compact glog-style prefix.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/' || *p == '\\') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+LogSeverity LogThreshold() {
+  return static_cast<LogSeverity>(
+      ThresholdStorage().load(std::memory_order_relaxed));
+}
+
+void SetLogThreshold(LogSeverity severity) {
+  ThresholdStorage().store(static_cast<int>(severity),
+                           std::memory_order_relaxed);
+}
+
+LogMessageStream::LogMessageStream(LogSeverity severity, const char* file,
+                                   int line) {
+  const auto now = std::chrono::system_clock::now();
+  const auto secs = std::chrono::time_point_cast<std::chrono::seconds>(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - secs)
+          .count();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "%c %02d:%02d:%02d.%03d %s:%d] ",
+                SeverityLetter(severity), tm_buf.tm_hour, tm_buf.tm_min,
+                tm_buf.tm_sec, static_cast<int>(millis), Basename(file),
+                line);
+  stream_ << prefix;
+}
+
+LogMessageStream::~LogMessageStream() {
+  stream_ << '\n';
+  // One fwrite per line so concurrent log statements interleave cleanly.
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace internal_logging
+}  // namespace rtr

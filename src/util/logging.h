@@ -45,8 +45,68 @@ struct Voidify {
   void operator&(CheckFailureStream&&) {}
 };
 
+// Severity of a LOG statement, ordered so a threshold comparison gates
+// emission. kOff is only a threshold value, never a message severity.
+enum class LogSeverity : int { kInfo = 0, kWarning = 1, kError = 2, kOff = 3 };
+
+// The active threshold, parsed once from RTR_LOG_LEVEL
+// (info|warn|warning|error|off, case-insensitive; default warn). Messages
+// below the threshold are skipped before their arguments are evaluated.
+LogSeverity LogThreshold();
+
+// Test/CLI hook to override the env-derived threshold at runtime.
+void SetLogThreshold(LogSeverity severity);
+
+// Accumulates one log line and writes it to stderr on destruction:
+// `W0000 12:34:56.789 file.cc:42] message`. Each line is a single write so
+// concurrent loggers interleave per-line, not per-token.
+class LogMessageStream {
+ public:
+  LogMessageStream(LogSeverity severity, const char* file, int line);
+
+  LogMessageStream(const LogMessageStream&) = delete;
+  LogMessageStream& operator=(const LogMessageStream&) = delete;
+
+  ~LogMessageStream();
+
+  template <typename T>
+  LogMessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Void sink overloads for the LOG stream (same trick as for CHECK).
+struct LogVoidify {
+  void operator&(LogMessageStream&) {}
+  void operator&(LogMessageStream&&) {}
+};
+
 }  // namespace internal_logging
 }  // namespace rtr
+
+// LOG(severity) << ...; severity is INFO, WARNING (alias WARN), or ERROR.
+// Gated by the RTR_LOG_LEVEL env var (default warn): suppressed statements
+// do not evaluate their streamed arguments.
+#define RTR_LOG_INFO ::rtr::internal_logging::LogSeverity::kInfo
+#define RTR_LOG_WARNING ::rtr::internal_logging::LogSeverity::kWarning
+#define RTR_LOG_WARN ::rtr::internal_logging::LogSeverity::kWarning
+#define RTR_LOG_ERROR ::rtr::internal_logging::LogSeverity::kError
+
+#define LOG(severity)                                                 \
+  (RTR_LOG_##severity < ::rtr::internal_logging::LogThreshold())      \
+      ? (void)0                                                       \
+      : ::rtr::internal_logging::LogVoidify() &                       \
+            ::rtr::internal_logging::LogMessageStream(                \
+                RTR_LOG_##severity, __FILE__, __LINE__)
+
+// LOG_IF(severity, cond) logs only when `cond` holds (and the severity
+// passes the threshold); the condition is always evaluated first.
+#define LOG_IF(severity, condition) \
+  !(condition) ? (void)0 : LOG(severity)
 
 // CHECK(cond) aborts with a message if `cond` is false. Additional context
 // can be streamed: CHECK(x > 0) << "x=" << x;

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace rtr::util {
@@ -30,6 +31,21 @@ int DefaultNumThreads() {
 // the pool is trivially race-free (the CI TSan job covers it); workers
 // check in exactly once per job generation, and the caller returns only
 // after every worker has checked in, so job state never outlives a Run.
+// Pool-wide registry series (DESIGN.md §9): job/chunk throughput plus a
+// utilization ratio derivable as participants_total / (jobs_total * threads).
+struct PoolMetrics {
+  obs::Counter* jobs = obs::MetricsRegistry::Default().GetCounter(
+      "rtr_pool_jobs_total");
+  obs::Counter* inline_jobs = obs::MetricsRegistry::Default().GetCounter(
+      "rtr_pool_inline_jobs_total");
+  obs::Counter* chunks = obs::MetricsRegistry::Default().GetCounter(
+      "rtr_pool_chunks_total");
+  obs::Counter* participants = obs::MetricsRegistry::Default().GetCounter(
+      "rtr_pool_participants_total");
+  obs::Gauge* threads = obs::MetricsRegistry::Default().GetGauge(
+      "rtr_pool_threads");
+};
+
 class Pool {
  public:
   static Pool& Instance() {
@@ -52,6 +68,7 @@ class Pool {
     StopWorkers();
     team_ = n;
     StartWorkers();
+    metrics_.threads->Set(static_cast<double>(team_));
   }
 
   void Run(const size_t* bounds, size_t num_chunks, internal::ChunkFn fn,
@@ -61,7 +78,11 @@ class Pool {
     // the inline shortcut keeps the team_ read ordered after any resize.
     std::unique_lock<std::mutex> job_lock(job_mu_);
     const size_t team = static_cast<size_t>(team_);
+    metrics_.jobs->Increment();
+    metrics_.chunks->Add(num_chunks);
     if (team <= 1 || num_chunks <= 1) {
+      metrics_.inline_jobs->Increment();
+      metrics_.participants->Increment();  // the caller alone
       job_lock.unlock();
       // Same chunk-by-chunk execution as the parallel path: bit-identical.
       for (size_t c = 0; c < num_chunks; ++c) {
@@ -73,6 +94,7 @@ class Pool {
     // but neither execute nor check in, so the caller's completion wait
     // never depends on threads that own no work.
     const size_t participants = std::min(team, num_chunks);
+    metrics_.participants->Add(participants);
     {
       std::lock_guard<std::mutex> lock(mu_);
       job_bounds_ = bounds;
@@ -94,7 +116,10 @@ class Pool {
   }
 
  private:
-  explicit Pool(int team) : team_(std::max(1, team)) { StartWorkers(); }
+  explicit Pool(int team) : team_(std::max(1, team)) {
+    StartWorkers();
+    metrics_.threads->Set(static_cast<double>(team_));
+  }
 
   void StartWorkers() {
     for (int p = 1; p < team_; ++p) {
@@ -153,6 +178,7 @@ class Pool {
 
   std::mutex job_mu_;  // serializes Run/SetNumThreads; held for a whole job
   int team_;
+  PoolMetrics metrics_;  // registry-owned pointers, never unregistered
   std::vector<std::thread> workers_;
 
   std::mutex mu_;  // guards everything below

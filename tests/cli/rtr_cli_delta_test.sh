@@ -143,7 +143,8 @@ check "chained snapshot carries generation 2" 0 $?
   --queries 20 --qps 400 --workers 2 --k 3 > "$TMP/serve.txt" 2>&1
 check "serve applies a delta mid-replay" 0 $?
 grep -q "\[swap\] .*d2.rtrdelta -> generation 2" "$TMP/serve.txt" &&
-  grep -q "(1 swaps" "$TMP/serve.txt"
+  grep -q "rtr_store_generations_published_total 1" "$TMP/serve.txt" &&
+  grep -q 'rtr_serve_generation{[^}]*} 2' "$TMP/serve.txt"
 check "serve reports the generation swap" 0 $?
 
 # --- error paths ---------------------------------------------------------

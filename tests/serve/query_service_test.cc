@@ -4,6 +4,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -591,6 +592,131 @@ TEST(QueryServiceTest, LiveSwapUnderConcurrentLoadStaysBitIdentical) {
         r.topk,
         core::TopKRoundTripRank(served, {q}, DefaultParams()).value(), q);
   }
+}
+
+TEST(QueryServiceTest, TracedPhasesSumToAtMostTotalLatency) {
+  const Graph& graph = SharedNet().graph();
+  std::vector<NodeId> stream = MixedQueryStream(graph, 30, 80, 21);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = stream.size();
+  options.enable_cache = true;
+  options.cache_capacity = 64;
+  options.enable_tracing = true;
+  options.trace_keep = 5;
+  QueryService service(SharedGraphPtr(), options);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_TRUE(service.tracing());
+
+  std::atomic<int> done{0};
+  for (NodeId q : stream) {
+    ASSERT_TRUE(service
+                    .SubmitAsync({{q}, DefaultParams()},
+                                 [&done](const ServeResponse&) { ++done; })
+                    .ok());
+  }
+  service.Shutdown();
+  ASSERT_EQ(done.load(), static_cast<int>(stream.size()));
+
+  // Every query passed through admission, pin, and the cache probe; only
+  // cache misses reach the engine phases.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(service.phase_latencies(obs::Phase::kQueueWait).Count(),
+            stats.completed);
+  EXPECT_EQ(service.phase_latencies(obs::Phase::kGenerationPin).Count(),
+            stats.completed);
+  EXPECT_EQ(service.phase_latencies(obs::Phase::kCacheLookup).Count(),
+            stats.completed);
+  EXPECT_EQ(service.phase_latencies(obs::Phase::kStage1Expand).Count(),
+            stats.cache_misses);
+  EXPECT_EQ(service.phase_latencies(obs::Phase::kFinalize).Count(),
+            stats.cache_misses);
+
+  // Phases are disjoint segments of each query's life, so their aggregate
+  // time cannot exceed the aggregate end-to-end latency (allow a small
+  // absolute slack for independent clock reads at the segment seams).
+  double phase_sum = 0.0;
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    phase_sum +=
+        service.phase_latencies(static_cast<obs::Phase>(p)).SumMillis();
+  }
+  EXPECT_GT(phase_sum, 0.0);
+  EXPECT_LE(phase_sum, service.latencies().SumMillis() +
+                           0.05 * static_cast<double>(stats.completed));
+
+  std::vector<std::string> traces = service.SlowestTraces();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_LE(traces.size(), options.trace_keep);
+  for (const std::string& json : traces) {
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"query_id\":"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait\":"), std::string::npos);
+  }
+}
+
+TEST(QueryServiceTest, TracingOffRecordsNothing) {
+  const Graph& graph = SharedNet().graph();
+  std::vector<NodeId> stream = MixedQueryStream(graph, 10, 20, 22);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = stream.size();
+  QueryService service(SharedGraphPtr(), options);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_FALSE(service.tracing());
+
+  for (NodeId q : stream) {
+    ASSERT_TRUE(
+        service.SubmitAsync({{q}, DefaultParams()}, nullptr).ok());
+  }
+  service.Shutdown();
+
+  EXPECT_EQ(service.stats().completed, stream.size());
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    EXPECT_EQ(service.phase_latencies(static_cast<obs::Phase>(p)).Count(),
+              0u);
+  }
+  EXPECT_TRUE(service.SlowestTraces().empty());
+}
+
+TEST(QueryServiceTest, SetTracingTogglesMidStream) {
+  const Graph& graph = SharedNet().graph();
+  std::vector<NodeId> stream = MixedQueryStream(graph, 10, 20, 23);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = stream.size();
+  QueryService service(SharedGraphPtr(), options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // First half untraced; then flip tracing on for the second half.
+  std::atomic<int> done{0};
+  size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(service
+                    .SubmitAsync({{stream[i]}, DefaultParams()},
+                                 [&done](const ServeResponse&) { ++done; })
+                    .ok());
+  }
+  while (static_cast<size_t>(done.load()) < half) {
+    std::this_thread::yield();
+  }
+  service.SetTracing(true);
+  for (size_t i = half; i < stream.size(); ++i) {
+    ASSERT_TRUE(service
+                    .SubmitAsync({{stream[i]}, DefaultParams()},
+                                 [&done](const ServeResponse&) { ++done; })
+                    .ok());
+  }
+  service.Shutdown();
+
+  EXPECT_EQ(service.stats().completed, stream.size());
+  uint64_t traced =
+      service.phase_latencies(obs::Phase::kQueueWait).Count();
+  EXPECT_GT(traced, 0u);
+  EXPECT_LE(traced, stream.size() - half);
+  EXPECT_FALSE(service.SlowestTraces().empty());
 }
 
 }  // namespace

@@ -100,5 +100,67 @@ TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
   EXPECT_NEAR(h.MaxMillis(), 4.0, 1e-6);
 }
 
+TEST(LatencyHistogramTest, SnapshotIsAConsistentCopy) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(16.0);
+  LatencyHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.sum_millis, 17.0);
+  EXPECT_NEAR(snap.max_millis, 16.0, 1e-6);
+  EXPECT_DOUBLE_EQ(snap.MeanMillis(), 8.5);
+  // The snapshot is detached: later samples don't bleed into it.
+  h.Record(100.0);
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST(LatencyHistogramTest, ZeroSamplePercentileIsZeroByContract) {
+  LatencyHistogram::Snapshot empty;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(empty.Percentile(q), 0.0);
+  EXPECT_EQ(empty.MeanMillis(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergedSnapshotsAreBitEquivalentToOneHistogram) {
+  // Shard samples across two histograms, merge their snapshots, and compare
+  // against one histogram that recorded every sample: the merge must be
+  // bit-equivalent bucket by bucket — not merely approximately equal — so
+  // sharded recording (per-worker histograms, per-phase registries) never
+  // changes any reported figure.
+  LatencyHistogram a, b, all;
+  for (int i = 1; i <= 500; ++i) {
+    // Integer-valued samples: exactly representable, so the shard-then-sum
+    // and sum-in-order totals are the same double bit for bit.
+    double ms = static_cast<double>(i * i % 997);
+    ((i % 2 == 0) ? a : b).Record(ms);
+    all.Record(ms);
+  }
+  LatencyHistogram::Snapshot merged = a.TakeSnapshot();
+  merged.Merge(b.TakeSnapshot());
+  LatencyHistogram::Snapshot reference = all.TakeSnapshot();
+
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum_millis, reference.sum_millis)
+      << "sum must match exactly: both sides add the same doubles";
+  EXPECT_EQ(merged.max_millis, reference.max_millis);
+  ASSERT_EQ(merged.buckets.size(), reference.buckets.size());
+  for (size_t i = 0; i < merged.buckets.size(); ++i) {
+    EXPECT_EQ(merged.buckets[i], reference.buckets[i]) << "bucket " << i;
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(merged.Percentile(q), reference.Percentile(q));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeFromAccumulatesIntoLiveHistogram) {
+  LatencyHistogram worker, global;
+  worker.Record(2.0);
+  worker.Record(4.0);
+  global.Record(8.0);
+  global.MergeFrom(worker.TakeSnapshot());
+  EXPECT_EQ(global.Count(), 3u);
+  EXPECT_DOUBLE_EQ(global.SumMillis(), 14.0);
+  EXPECT_NEAR(global.MaxMillis(), 8.0, 1e-6);
+}
+
 }  // namespace
 }  // namespace rtr

@@ -14,6 +14,8 @@
 //                   [--cache 1] [--cache-capacity 1024]
 //                   [--backend local|dist] [--gps 4] [--k 10] [--eps 0.01]
 //                   [--slo-ms 50] [--repeat 0.5] [--seed 7] [--threads N]
+//                   [--metrics-out metrics.txt] [--metrics-interval-ms 1000]
+//                   [--trace N] [--tracing 0|1]
 //
 // Every --graph flag accepts either the text format of graph/io.h or the
 // binary snapshot format of graph/snapshot.h, auto-detected by magic;
@@ -32,6 +34,16 @@
 //
 // `serve --threads N` (or the RTR_NUM_THREADS env var) sizes the
 // util::ParallelFor kernel pool; results are bit-identical at any setting.
+//
+// Observability (DESIGN.md §9): `serve` ends by printing the process-wide
+// metrics registry in the Prometheus-style text exposition — the SAME
+// rendered string is appended to --metrics-out, so the human summary and
+// the machine dump agree field-for-field. --metrics-interval-ms appends
+// periodic dumps during the replay (each prefixed with `# dump N`, counters
+// monotone across dumps). --trace N enables per-query phase tracing and
+// prints the N slowest queries' trace JSON; --tracing 1 enables tracing
+// without the dump. LOG verbosity follows the RTR_LOG_LEVEL env var
+// (info|warn|error|off; default warn).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -56,6 +68,7 @@
 #include "graph/io.h"
 #include "graph/snapshot.h"
 #include "graph/store.h"
+#include "obs/metrics.h"
 #include "ranking/combinators.h"
 #include "ranking/pagerank.h"
 #include "serve/query_service.h"
@@ -554,6 +567,25 @@ int CmdServe(const Flags& flags) {
   options.cache_capacity = static_cast<size_t>(cache_capacity);
   options.slo_millis = flags.GetDouble("slo-ms", 50.0);
 
+  // Tracing: --trace N prints the N slowest queries' phase traces (and
+  // implies tracing on); --tracing 1 turns tracing on without the dump.
+  int trace_n = flags.GetInt("trace", 0);
+  if (trace_n < 0) {
+    std::fprintf(stderr, "--trace must be >= 0\n");
+    return 2;
+  }
+  options.enable_tracing = trace_n > 0 || flags.GetInt("tracing", 0) != 0;
+  if (trace_n > 0) options.trace_keep = static_cast<size_t>(trace_n);
+
+  // Metrics exposition dump: appended to --metrics-out periodically during
+  // the replay and once at the end.
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  int metrics_interval_ms = flags.GetInt("metrics-interval-ms", 1000);
+  if (metrics_interval_ms < 1) {
+    std::fprintf(stderr, "--metrics-interval-ms must be >= 1\n");
+    return 2;
+  }
+
   // Kernel-pool width: --threads beats the RTR_NUM_THREADS env default.
   if (flags.Has("threads")) {
     int threads = flags.GetInt("threads", 0);
@@ -634,6 +666,38 @@ int CmdServe(const Flags& flags) {
   auto interval = std::chrono::duration<double>(1.0 / target_qps);
   auto start = std::chrono::steady_clock::now();
 
+  // Periodic metrics dumps, one exposition block per tick prefixed with a
+  // `# dump N` comment. Counters are monotone across blocks — the CLI test
+  // checks exactly that.
+  std::atomic<bool> metrics_stop{false};
+  std::atomic<int> metrics_dumps{0};
+  std::thread metrics_writer;
+  if (!metrics_out.empty()) {
+    std::FILE* probe = std::fopen(metrics_out.c_str(), "w");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "cannot write --metrics-out %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+    metrics_writer = std::thread([&metrics_out, &metrics_stop,
+                                  &metrics_dumps, metrics_interval_ms] {
+      auto dump = [&metrics_out, &metrics_dumps] {
+        std::FILE* f = std::fopen(metrics_out.c_str(), "a");
+        if (f == nullptr) return;
+        std::string text = rtr::obs::MetricsRegistry::Default().RenderText();
+        std::fprintf(f, "# dump %d\n", metrics_dumps.fetch_add(1));
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      };
+      while (!metrics_stop.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(metrics_interval_ms));
+        dump();
+      }
+    });
+  }
+
   // The ingestion writer: spaces the delta applications evenly across the
   // replay window so swaps land while queries are in flight. Readers are
   // never blocked — CatchUp builds the next generation off the reader lock
@@ -680,32 +744,33 @@ int CmdServe(const Flags& flags) {
   if (delta_writer.joinable()) delta_writer.join();
   service->Shutdown();  // drains everything admitted
 
+  // One rendered exposition serves both consumers: printed as the human
+  // summary and appended verbatim as the final --metrics-out dump, so the
+  // two agree field-for-field by construction.
+  std::string rendered = rtr::obs::MetricsRegistry::Default().RenderText();
+  if (metrics_writer.joinable()) {
+    metrics_stop.store(true);
+    metrics_writer.join();
+  }
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "a");
+    if (f != nullptr) {
+      std::fprintf(f, "# dump %d\n", metrics_dumps.fetch_add(1));
+      std::fwrite(rendered.data(), 1, rendered.size(), f);
+      std::fclose(f);
+    }
+  }
   rtr::serve::ServiceStats stats = service->stats();
-  std::printf("\n  accepted %llu  rejected %llu (load shed)  failed %llu\n",
-              static_cast<unsigned long long>(stats.accepted),
-              static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.failed));
-  std::printf("  achieved QPS %.1f (target %.0f)\n", stats.qps, target_qps);
-  std::printf("  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
-              stats.p50_millis, stats.p95_millis, stats.p99_millis,
-              service->latencies().MaxMillis());
-  uint64_t lookups = stats.cache_hits + stats.cache_misses;
-  std::printf("  cache: %llu hits / %llu lookups (%.1f%%), %llu insertions, "
-              "%llu evictions, %llu invalidations\n",
-              static_cast<unsigned long long>(stats.cache_hits),
-              static_cast<unsigned long long>(lookups),
-              lookups == 0 ? 0.0 : 100.0 * stats.cache_hits / lookups,
-              static_cast<unsigned long long>(stats.cache_insertions),
-              static_cast<unsigned long long>(stats.cache_evictions),
-              static_cast<unsigned long long>(stats.cache_invalidations));
-  std::printf("  generations: served up to %llu (%llu swaps, %zu live)\n",
-              static_cast<unsigned long long>(stats.generation),
-              static_cast<unsigned long long>(store->swap_count()),
-              store->live_generations());
-  std::printf("  SLO (%.1f ms): %llu violations / %llu completed\n",
-              options.slo_millis,
-              static_cast<unsigned long long>(stats.slo_violations),
-              static_cast<unsigned long long>(stats.completed));
+  std::printf("\nmetrics (exposition; field-for-field the final "
+              "--metrics-out dump):\n");
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  if (trace_n > 0) {
+    std::printf("\nslowest traces (of %llu completed):\n",
+                static_cast<unsigned long long>(stats.completed));
+    for (const std::string& json : service->SlowestTraces()) {
+      std::printf("%s\n", json.c_str());
+    }
+  }
   if (delta_failed.load()) return 1;
   return done_count.load() == accepted ? 0 : 1;
 }
