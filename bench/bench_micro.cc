@@ -10,6 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "alloc_counter.h"
 #include "bench_common.h"
@@ -19,7 +22,9 @@
 #include "core/workspace.h"
 #include "obs/trace.h"
 #include "graph/builder.h"
+#include "graph/snapshot.h"
 #include "ranking/pagerank.h"
+#include "util/dense_kernels.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
@@ -87,6 +92,62 @@ void BM_TRankPowerIteration(benchmark::State& state) {
   state.counters["threads"] = rtr::util::NumThreads();
 }
 BENCHMARK(BM_TRankPowerIteration);
+
+// The gather-multiply-accumulate kernel itself, over the shared graph's
+// whole in-column per iteration. Arg 0: 0 = portable forced, 1 = the
+// host's best ISA (AVX2 when available). Arg 1: 0 = exact f64 probs,
+// 1 = f32 probs widened in-register.
+void BM_GatherDot(benchmark::State& state) {
+  Graph g = SharedGraph();  // copy: the f32 column is bench-local
+  g.PopulateF32Probs();
+  const bool want_simd = state.range(0) != 0;
+  const bool f32 = state.range(1) != 0;
+  const bool saved = rtr::util::SimdEnabled();
+  rtr::util::SetSimdEnabled(want_simd);
+  std::vector<double> x(g.num_nodes(), 1.0);
+  const uint32_t* idx = g.in_sources().data();
+  const size_t n = g.in_sources().size();
+  for (auto _ : state) {
+    double sum = f32 ? rtr::util::GatherDotF32(idx, g.in_probs_f32().data(),
+                                               n, x.data())
+                     : rtr::util::GatherDotF64(idx, g.in_probs().data(), n,
+                                               x.data());
+    benchmark::DoNotOptimize(sum);
+  }
+  rtr::util::SetSimdEnabled(saved);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(std::string(want_simd ? rtr::util::DenseKernelIsa()
+                                       : "portable") +
+                 (f32 ? "/f32" : "/f64"));
+}
+BENCHMARK(BM_GatherDot)
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+// End-to-end power iteration across the kernel variants. Arg 0 toggles
+// SIMD, arg 1 the f32 probability column (both restored afterwards).
+void BM_FRankKernels(benchmark::State& state) {
+  static const Graph* g32 = [] {
+    Graph* g = new Graph(SharedGraph());
+    g->PopulateF32Probs();
+    return g;
+  }();
+  const bool saved_simd = rtr::util::SimdEnabled();
+  const bool saved_f32 = rtr::util::F32KernelsEnabled();
+  rtr::util::SetSimdEnabled(state.range(0) != 0);
+  rtr::util::SetF32Kernels(state.range(1) != 0);
+  rtr::ranking::WalkParams params;
+  params.tolerance = 1e-10;
+  for (auto _ : state) {
+    std::vector<double> f = rtr::ranking::FRank(*g32, {0}, params);
+    benchmark::DoNotOptimize(f.data());
+  }
+  rtr::util::SetSimdEnabled(saved_simd);
+  rtr::util::SetF32Kernels(saved_f32);
+  state.counters["threads"] = rtr::util::NumThreads();
+}
+BENCHMARK(BM_FRankKernels)
+    ->ArgsProduct({{0, 1}, {0, 1}});
 
 void BM_BcaProcessBest(benchmark::State& state) {
   const Graph& g = SharedGraph();
@@ -246,8 +307,9 @@ BENCHMARK(BM_TopKNaiveExact);
 
 // Steady-state allocation audit (the CI gate). Runs a fixed query set once
 // to warm the arena, then replays it and demands zero operator-new calls.
-bool AuditSteadyStateAllocs() {
-  const Graph g = MakeGraph(2000, 8000, 13);
+// Audited on owning AND mapped storage: the span accessors must not hide
+// an allocation on the zero-copy path either.
+bool AuditSteadyStateAllocsOn(const Graph& g, const char* label) {
   rtr::core::TopKParams params;
   params.k = 10;
   rtr::core::QueryWorkspace ws;
@@ -272,14 +334,38 @@ bool AuditSteadyStateAllocs() {
   const uint64_t allocs = rtr::bench::AllocCount() - before;
   if (allocs != 0) {
     std::fprintf(stderr,
-                 "FAIL: steady-state 2SBound made %llu heap allocations "
-                 "over %zu queries (expected 0)\n",
-                 static_cast<unsigned long long>(allocs),
+                 "FAIL: steady-state 2SBound (%s graph) made %llu heap "
+                 "allocations over %zu queries (expected 0)\n",
+                 label, static_cast<unsigned long long>(allocs),
                  sizeof(queries) / sizeof(queries[0]));
     return false;
   }
-  std::printf("alloc audit: steady-state 2SBound allocs/query = 0 [OK]\n");
+  std::printf(
+      "alloc audit: steady-state 2SBound allocs/query = 0 (%s graph) [OK]\n",
+      label);
   return true;
+}
+
+bool AuditSteadyStateAllocs() {
+  const Graph g = MakeGraph(2000, 8000, 13);
+  if (!AuditSteadyStateAllocsOn(g, "owning")) return false;
+
+  // Same audit over the zero-copy loader's borrowed columns.
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "rtr_bench_micro_alloc_audit.rtrsnap";
+  if (!rtr::SaveGraphSnapshotToFile(g, path.string()).ok()) {
+    std::fprintf(stderr, "alloc audit: cannot write snapshot\n");
+    return false;
+  }
+  rtr::StatusOr<Graph> mapped = rtr::LoadGraphMapped(path.string());
+  if (!mapped.ok()) {
+    // No mmap on this platform: the owning audit already passed.
+    std::printf("alloc audit: mapped-graph leg skipped (%s)\n",
+                mapped.status().ToString().c_str());
+    return true;
+  }
+  return AuditSteadyStateAllocsOn(*mapped, "mapped");
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/dense_kernels.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
@@ -71,16 +72,24 @@ void StepForwardInto(const Graph& g, const std::vector<double>& dist,
   const size_t chunks = util::BalancedChunkBounds(
       g.in_offsets().data(), g.num_nodes(), kArcGrain, bounds);
   std::vector<double>& out = *next;
+  // Gather-dot kernels over the hoisted (source, prob) columns; the f32
+  // column is used when present and opted in (see util/dense_kernels.h).
+  const size_t* off = g.in_offsets().data();
+  const NodeId* src = g.in_sources().data();
+  const double* probs = g.in_probs().data();
+  const float* probs32 = util::F32KernelsEnabled() && g.has_f32_probs()
+                             ? g.in_probs_f32().data()
+                             : nullptr;
   util::ParallelForChunks(
       bounds, chunks, [&](size_t, size_t begin, size_t end) {
         for (size_t v = begin; v < end; ++v) {
-          auto sources = g.in_sources(static_cast<NodeId>(v));
-          auto probs = g.in_probs(static_cast<NodeId>(v));
-          double sum = 0.0;
-          for (size_t i = 0; i < sources.size(); ++i) {
-            sum += probs[i] * dist[sources[i]];
-          }
-          out[v] = sum;
+          const size_t row = off[v];
+          const size_t deg = off[v + 1] - row;
+          out[v] = probs32 != nullptr
+                       ? util::GatherDotF32(src + row, probs32 + row, deg,
+                                            dist.data())
+                       : util::GatherDotF64(src + row, probs + row, deg,
+                                            dist.data());
         }
       });
 }
@@ -94,16 +103,22 @@ void StepBackwardInto(const Graph& g, const std::vector<double>& prob,
   const size_t chunks = util::BalancedChunkBounds(
       g.out_offsets().data(), g.num_nodes(), kArcGrain, bounds);
   std::vector<double>& out = *next;
+  const size_t* off = g.out_offsets().data();
+  const NodeId* tgt = g.out_targets().data();
+  const double* probs = g.out_probs().data();
+  const float* probs32 = util::F32KernelsEnabled() && g.has_f32_probs()
+                             ? g.out_probs_f32().data()
+                             : nullptr;
   util::ParallelForChunks(
       bounds, chunks, [&](size_t, size_t begin, size_t end) {
         for (size_t v = begin; v < end; ++v) {
-          auto targets = g.out_targets(static_cast<NodeId>(v));
-          auto probs = g.out_probs(static_cast<NodeId>(v));
-          double sum = 0.0;
-          for (size_t i = 0; i < targets.size(); ++i) {
-            sum += probs[i] * prob[targets[i]];
-          }
-          out[v] = sum;
+          const size_t row = off[v];
+          const size_t deg = off[v + 1] - row;
+          out[v] = probs32 != nullptr
+                       ? util::GatherDotF32(tgt + row, probs32 + row, deg,
+                                            prob.data())
+                       : util::GatherDotF64(tgt + row, probs + row, deg,
+                                            prob.data());
         }
       });
 }

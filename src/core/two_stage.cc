@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/dense_kernels.h"
 #include "util/logging.h"
+
+namespace {
+
+// Prefetch distance for the Stage-II refinement sweeps: the seen-node order
+// is query-dependent (BCA discovery order), so the hardware prefetcher
+// cannot predict the adjacency rows; software prefetch of the row ~8 nodes
+// ahead hides the column-load latency. The offsets array itself is dense
+// and hot, so reading offsets[w] up front costs nothing.
+constexpr size_t kRefinePrefetchDistance = 8;
+
+}  // namespace
 
 namespace rtr::core {
 
@@ -68,9 +80,20 @@ void FRankBounder::RefineStage2() {
   const std::vector<double>& teleport = ws_->teleport;
   std::vector<double>& lower = ws_->f_lower;
   std::vector<double>& upper = ws_->f_upper;
+  const size_t* in_off = graph_.in_offsets().data();
+  const NodeId* in_src = graph_.in_sources().data();
+  const double* in_probs = graph_.in_probs().data();
   for (int sweep = 0; sweep < options_.max_refine_sweeps; ++sweep) {
     double change = 0.0;
-    for (NodeId v : nodes) {
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (j + kRefinePrefetchDistance < nodes.size()) {
+        const NodeId w = nodes[j + kRefinePrefetchDistance];
+        const size_t row = in_off[w];
+        util::PrefetchRead(in_src + row);
+        util::PrefetchRead(in_probs + row);
+        util::PrefetchRead(&lower[w]);
+      }
+      const NodeId v = nodes[j];
       double lo_sum = 0.0;
       double up_sum = 0.0;
       auto sources = graph_.in_sources(v);
@@ -226,9 +249,20 @@ void TRankBounder::RefineSweeps(int sweeps) {
   const std::vector<uint8_t>& in_seen = ws_->t_in_seen;
   std::vector<double>& lower = ws_->t_lower;
   std::vector<double>& upper = ws_->t_upper;
+  const size_t* out_off = graph_.out_offsets().data();
+  const NodeId* out_tgt = graph_.out_targets().data();
+  const double* out_probs = graph_.out_probs().data();
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     double change = 0.0;
-    for (NodeId v : nodes) {
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (j + kRefinePrefetchDistance < nodes.size()) {
+        const NodeId w = nodes[j + kRefinePrefetchDistance];
+        const size_t row = out_off[w];
+        util::PrefetchRead(out_tgt + row);
+        util::PrefetchRead(out_probs + row);
+        util::PrefetchRead(&lower[w]);
+      }
+      const NodeId v = nodes[j];
       double lo_sum = 0.0;
       double up_sum = 0.0;
       auto targets = graph_.out_targets(v);

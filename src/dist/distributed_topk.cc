@@ -111,9 +111,9 @@ uint64_t Cluster::total_bytes_served() const {
 }
 
 StatusOr<std::unique_ptr<Cluster>> Cluster::FromGraphFile(
-    const std::string& path, int num_gps) {
+    const std::string& path, int num_gps, MapMode map_mode) {
   uint64_t generation = 0;
-  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation);
+  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation, map_mode);
   RTR_RETURN_IF_ERROR(loaded.status());
   return std::make_unique<Cluster>(
       std::make_shared<const Graph>(std::move(loaded).value()), num_gps,

@@ -24,6 +24,7 @@
 
 #include "core/twosbound.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "graph/types.h"
 #include "util/status.h"
 
@@ -152,9 +153,12 @@ class Cluster {
   // Shard bring-up from a saved graph: loads `path` (binary snapshot or
   // text, auto-detected by magic — see graph/snapshot.h) and stripes it
   // across num_gps processors; the generation id comes from the snapshot
-  // header (0 for text graphs).
+  // header (0 for text graphs). `map_mode` picks the snapshot loader:
+  // kAuto honors RTR_GRAPH_MMAP, kPrefer/kRequire go zero-copy (the shard
+  // records reference the shared mapped columns).
   static StatusOr<std::unique_ptr<Cluster>> FromGraphFile(
-      const std::string& path, int num_gps);
+      const std::string& path, int num_gps,
+      MapMode map_mode = MapMode::kAuto);
 
   int num_gps() const { return static_cast<int>(gps_.size()); }
   const std::vector<GraphProcessor>& gps() const { return gps_; }

@@ -113,6 +113,7 @@ StatusOr<Graph> GraphBuilder::Build() const {
     }
   }
 
+  g.RebindViews();
   return g;
 }
 

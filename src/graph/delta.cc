@@ -134,11 +134,15 @@ class DeltaOps {
       in_dirty[op.target] = 1;
     }
 
+    // The output generation always owns its columns: every base read below
+    // goes through the accessor spans, so a mapped base (columns borrowed
+    // from a read-only mmap) is copied-on-write here rather than aliased or
+    // — worse — read through its empty owning vectors.
     Graph g;
-    g.type_names_ = base.type_names_;
+    g.type_names_ = base.type_names();
     g.type_names_.insert(g.type_names_.end(), delta.added_type_names.begin(),
                          delta.added_type_names.end());
-    g.node_types_ = base.node_types_;
+    g.node_types_.assign(base.node_types().begin(), base.node_types().end());
     g.node_types_.insert(g.node_types_.end(), delta.added_node_types.begin(),
                          delta.added_node_types.end());
 
@@ -224,14 +228,15 @@ class DeltaOps {
           // Dangling (or brand-new) node: builder leaves the weight at 0.
           continue;
         }
-        const size_t src = base.out_offsets_[v];
+        const size_t src = base.out_offsets()[v];
         std::memcpy(g.out_targets_.data() + dst,
-                    base.out_targets_.data() + src, deg * sizeof(NodeId));
+                    base.out_targets().data() + src, deg * sizeof(NodeId));
         std::memcpy(g.out_arc_weights_.data() + dst,
-                    base.out_arc_weights_.data() + src, deg * sizeof(double));
-        std::memcpy(g.out_probs_.data() + dst, base.out_probs_.data() + src,
+                    base.out_arc_weights().data() + src,
                     deg * sizeof(double));
-        g.out_weights_[v] = base.out_weights_[v];
+        std::memcpy(g.out_probs_.data() + dst, base.out_probs().data() + src,
+                    deg * sizeof(double));
+        g.out_weights_[v] = base.out_weight(v);
         continue;
       }
       const size_t row = merged_row_begin[v];
@@ -323,12 +328,12 @@ class DeltaOps {
       const size_t deg = g.in_offsets_[t + 1] - dst;
       if (!in_dirty[t]) {
         if (deg == 0) continue;
-        const size_t src = base.in_offsets_[t];
+        const size_t src = base.in_offsets()[t];
         std::memcpy(g.in_sources_.data() + dst,
-                    base.in_sources_.data() + src, deg * sizeof(NodeId));
+                    base.in_sources().data() + src, deg * sizeof(NodeId));
         std::memcpy(g.in_arc_weights_.data() + dst,
-                    base.in_arc_weights_.data() + src, deg * sizeof(double));
-        std::memcpy(g.in_probs_.data() + dst, base.in_probs_.data() + src,
+                    base.in_arc_weights().data() + src, deg * sizeof(double));
+        std::memcpy(g.in_probs_.data() + dst, base.in_probs().data() + src,
                     deg * sizeof(double));
         continue;
       }
@@ -349,6 +354,10 @@ class DeltaOps {
       }
     }
 
+    g.RebindViews();
+    // A base carrying the optional f32 columns hands them down so the
+    // capability survives delta catch-up (exact casts of the new probs).
+    if (base.has_f32_probs()) g.PopulateF32Probs();
     return g;
   }
 };

@@ -2,6 +2,7 @@
 #define RTR_GRAPH_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "util/logging.h"
 
 namespace rtr {
+
+class MappedSnapshot;  // graph/snapshot.h: RAII mmap of an rtr-snap file.
 
 // Immutable directed weighted graph in columnar (structure-of-arrays) CSR
 // form, with both out- and in-adjacency and precomputed row-stochastic
@@ -30,29 +33,47 @@ namespace rtr {
 // frozen columns are also exactly what the binary snapshot format
 // (graph/snapshot.h) writes and reads verbatim.
 //
+// Storage polymorphism: every column is exposed through a std::span view.
+// A graph built by GraphBuilder (or bulk-loaded from a snapshot) owns its
+// columns in std::vectors and the views alias those vectors. A graph loaded
+// by LoadGraphMapped() instead borrows its views straight out of a
+// MappedSnapshot (a read-only mmap of the rtr-snap file); the owning vectors
+// stay empty and the mapping is kept alive by a shared_ptr held here, so
+// copies of a mapped Graph share one physical copy of the columns. Use
+// is_mapped() to tell the two apart and MaterializeOwning() to deep-copy a
+// mapped graph into owning storage (required before any code path that
+// assembles new columns in place, e.g. DeltaOps).
+//
 // Construct via GraphBuilder::Build() or LoadGraphSnapshot().
 //
 // Thread safety: a Graph never mutates after construction, and every member
 // function is const and touches only the frozen columns. Any number of
 // threads may therefore share one Graph with no synchronization — the
 // contract the serving layer (serve::QueryService) relies on to run one
-// graph under a worker pool.
+// graph under a worker pool. (PopulateF32Probs() is the one exception: it
+// backfills the optional f32 column and must finish before the graph is
+// shared.)
 class Graph {
  public:
   Graph() = default;
 
-  Graph(const Graph&) = default;
-  Graph& operator=(const Graph&) = default;
+  // Copies rebind every owning column's view onto the copy's own vectors;
+  // borrowed (mapped) columns stay borrowed and share the mapping.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  // Moves are cheap and safe: vector heap buffers are stable under move, so
+  // the views transfer verbatim. The moved-from graph is only good for
+  // destruction or reassignment (its views are unspecified).
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
-  size_t num_nodes() const { return node_types_.size(); }
+  size_t num_nodes() const { return node_types_view_.size(); }
   // Number of directed arcs (an undirected edge counts twice).
-  size_t num_arcs() const { return out_targets_.size(); }
+  size_t num_arcs() const { return out_targets_view_.size(); }
 
   NodeTypeId node_type(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return node_types_[v];
+    return node_types_view_[v];
   }
 
   // Registered type names; index is the NodeTypeId.
@@ -64,11 +85,11 @@ class Graph {
 
   size_t out_degree(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return out_offsets_[v + 1] - out_offsets_[v];
+    return out_offsets_view_[v + 1] - out_offsets_view_[v];
   }
   size_t in_degree(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return in_offsets_[v + 1] - in_offsets_[v];
+    return in_offsets_view_[v + 1] - in_offsets_view_[v];
   }
 
   // Per-node column spans. Entries at the same index within a node's spans
@@ -76,44 +97,77 @@ class Graph {
   // source) within each node.
   std::span<const NodeId> out_targets(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {out_targets_.data() + out_offsets_[v], out_degree(v)};
+    return {out_targets_view_.data() + out_offsets_view_[v], out_degree(v)};
   }
   std::span<const double> out_probs(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {out_probs_.data() + out_offsets_[v], out_degree(v)};
+    return {out_probs_view_.data() + out_offsets_view_[v], out_degree(v)};
   }
   std::span<const double> out_arc_weights(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {out_arc_weights_.data() + out_offsets_[v], out_degree(v)};
+    return {out_arc_weights_view_.data() + out_offsets_view_[v],
+            out_degree(v)};
   }
   std::span<const NodeId> in_sources(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {in_sources_.data() + in_offsets_[v], in_degree(v)};
+    return {in_sources_view_.data() + in_offsets_view_[v], in_degree(v)};
   }
   std::span<const double> in_probs(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {in_probs_.data() + in_offsets_[v], in_degree(v)};
+    return {in_probs_view_.data() + in_offsets_view_[v], in_degree(v)};
   }
   std::span<const double> in_arc_weights(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return {in_arc_weights_.data() + in_offsets_[v], in_degree(v)};
+    return {in_arc_weights_view_.data() + in_offsets_view_[v], in_degree(v)};
   }
 
   // Whole-graph column views (snapshot I/O, shard extraction, column-equality
   // assertions in tests). The offsets arrays have num_nodes()+1 entries.
-  std::span<const size_t> out_offsets() const { return out_offsets_; }
-  std::span<const NodeId> out_targets() const { return out_targets_; }
-  std::span<const double> out_probs() const { return out_probs_; }
-  std::span<const double> out_arc_weights() const { return out_arc_weights_; }
-  std::span<const size_t> in_offsets() const { return in_offsets_; }
-  std::span<const NodeId> in_sources() const { return in_sources_; }
-  std::span<const double> in_probs() const { return in_probs_; }
-  std::span<const double> in_arc_weights() const { return in_arc_weights_; }
+  std::span<const NodeTypeId> node_types() const { return node_types_view_; }
+  std::span<const size_t> out_offsets() const { return out_offsets_view_; }
+  std::span<const NodeId> out_targets() const { return out_targets_view_; }
+  std::span<const double> out_probs() const { return out_probs_view_; }
+  std::span<const double> out_arc_weights() const {
+    return out_arc_weights_view_;
+  }
+  std::span<const double> out_weights() const { return out_weights_view_; }
+  std::span<const size_t> in_offsets() const { return in_offsets_view_; }
+  std::span<const NodeId> in_sources() const { return in_sources_view_; }
+  std::span<const double> in_probs() const { return in_probs_view_; }
+  std::span<const double> in_arc_weights() const {
+    return in_arc_weights_view_;
+  }
+
+  // Optional single-precision transition-probability columns (snapshot v3,
+  // or backfilled by PopulateF32Probs). Element i is exactly
+  // static_cast<float>(probs()[i]); empty spans when absent.
+  bool has_f32_probs() const { return has_f32_probs_; }
+  std::span<const float> out_probs_f32() const { return out_probs_f32_view_; }
+  std::span<const float> in_probs_f32() const { return in_probs_f32_view_; }
+  std::span<const float> out_probs_f32(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {out_probs_f32_view_.data() + out_offsets_view_[v], out_degree(v)};
+  }
+  std::span<const float> in_probs_f32(NodeId v) const {
+    DCHECK_LT(v, num_nodes());
+    return {in_probs_f32_view_.data() + in_offsets_view_[v], in_degree(v)};
+  }
+  // Backfills the f32 prob columns from the f64 ones (no-op when already
+  // present). Not thread-safe: call before the graph is shared.
+  void PopulateF32Probs();
+
+  // True when the columns borrow from a MappedSnapshot instead of owning
+  // vectors. The spans stay valid for this Graph's lifetime either way.
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+  // Deep-copies every column into owning vectors and drops the mapping
+  // reference. Identity for graphs that already own their storage.
+  Graph MaterializeOwning() const;
 
   // Total outgoing weight of v (0 for dangling nodes).
   double out_weight(NodeId v) const {
     DCHECK_LT(v, num_nodes());
-    return out_weights_[v];
+    return out_weights_view_[v];
   }
 
   // Samples an out-neighbor of v by transition probability given one uniform
@@ -122,15 +176,15 @@ class Graph {
   // dangling. The inner loop of every Monte-Carlo walker in the repo.
   NodeId SampleOutNeighbor(NodeId v, double u) const {
     DCHECK_LT(v, num_nodes());
-    const size_t begin = out_offsets_[v];
-    const size_t end = out_offsets_[v + 1];
+    const size_t begin = out_offsets_view_[v];
+    const size_t end = out_offsets_view_[v + 1];
     if (begin == end) return kInvalidNode;
     double acc = 0.0;
     for (size_t i = begin; i < end; ++i) {
-      acc += out_probs_[i];
-      if (u < acc) return out_targets_[i];
+      acc += out_probs_view_[i];
+      if (u < acc) return out_targets_view_[i];
     }
-    return out_targets_[end - 1];
+    return out_targets_view_[end - 1];
   }
 
   // One-step transition probability M[u][v]; 0 if the arc does not exist.
@@ -141,7 +195,8 @@ class Graph {
   std::vector<NodeId> NodesOfType(NodeTypeId t) const;
 
   // Approximate resident size of the CSR structures in bytes; this is the
-  // "snapshot size" metric of Fig. 12.
+  // "snapshot size" metric of Fig. 12. For a mapped graph this counts the
+  // borrowed (file-backed) bytes, which are shared across processes.
   size_t MemoryBytes() const;
 
   // Average total degree (arcs / nodes), the D-bar of Sect. V-B1.
@@ -155,14 +210,25 @@ class Graph {
  private:
   friend class GraphBuilder;
   // graph/snapshot.cc: reconstructs the frozen columns from a binary
-  // snapshot without a GraphBuilder replay.
+  // snapshot without a GraphBuilder replay, or points the views straight
+  // into a MappedSnapshot.
   friend class SnapshotCodec;
   // graph/delta.cc: assembles the next generation's columns from the
   // previous generation plus a GraphDelta, touching only mutated rows.
   friend class DeltaOps;
 
+  // Points every view at its owning vector. Builders/codecs that fill the
+  // vectors directly must call this before handing the Graph out.
+  void RebindViews();
+  // Rebinds only the views whose owning vector is non-empty; borrowed
+  // (mapped or empty) columns keep the view they were copied with. Used by
+  // the copy constructor, where owning columns must re-anchor on the copy's
+  // own vectors.
+  void RebindOwnedViews();
+
+  // Owning storage. Empty for columns that borrow from `mapping_`.
   std::vector<NodeTypeId> node_types_;
-  std::vector<std::string> type_names_;
+  std::vector<std::string> type_names_;  // always owned
 
   std::vector<size_t> out_offsets_;       // size num_nodes()+1
   std::vector<NodeId> out_targets_;       // column: arc target
@@ -174,6 +240,28 @@ class Graph {
   std::vector<NodeId> in_sources_;        // column: arc source
   std::vector<double> in_arc_weights_;    // column: raw arc weight
   std::vector<double> in_probs_;          // column: M[source][this]
+
+  std::vector<float> out_probs_f32_;      // optional f32 twin of out_probs_
+  std::vector<float> in_probs_f32_;       // optional f32 twin of in_probs_
+
+  // Column views: alias the vectors above, or borrow from `mapping_`.
+  std::span<const NodeTypeId> node_types_view_;
+  std::span<const size_t> out_offsets_view_;
+  std::span<const NodeId> out_targets_view_;
+  std::span<const double> out_arc_weights_view_;
+  std::span<const double> out_probs_view_;
+  std::span<const double> out_weights_view_;
+  std::span<const size_t> in_offsets_view_;
+  std::span<const NodeId> in_sources_view_;
+  std::span<const double> in_arc_weights_view_;
+  std::span<const double> in_probs_view_;
+  std::span<const float> out_probs_f32_view_;
+  std::span<const float> in_probs_f32_view_;
+
+  bool has_f32_probs_ = false;
+  // Keeps the mmap alive while any view borrows from it; null for graphs
+  // that own all their columns.
+  std::shared_ptr<const MappedSnapshot> mapping_;
 };
 
 // Returns a copy of `g` with every arc's weight replaced by 1 (transition

@@ -35,9 +35,9 @@ GraphStore::GraphStore(Graph initial, uint64_t generation)
                  generation) {}
 
 StatusOr<std::unique_ptr<GraphStore>> GraphStore::Open(
-    const std::string& path) {
+    const std::string& path, MapMode map_mode) {
   uint64_t generation = 0;
-  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation);
+  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation, map_mode);
   RTR_RETURN_IF_ERROR(loaded.status());
   return std::make_unique<GraphStore>(std::move(loaded).value(), generation);
 }

@@ -36,6 +36,7 @@
 
 #include "graph/delta.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -61,7 +62,13 @@ class GraphStore {
 
   // Process bring-up from a saved base: binary snapshots carry their
   // generation id in the header; text graphs start at generation 0.
-  static StatusOr<std::unique_ptr<GraphStore>> Open(const std::string& path);
+  // `map_mode` selects the snapshot loader (graph/snapshot.h): the default
+  // kAuto honors RTR_GRAPH_MMAP, kPrefer/kRequire map the file zero-copy.
+  // A mapped base generation is safe here: Apply/CatchUp build the next
+  // generation's columns in owning storage (DeltaOps reads the base through
+  // its views — copy-on-write), never in place.
+  static StatusOr<std::unique_ptr<GraphStore>> Open(
+      const std::string& path, MapMode map_mode = MapMode::kAuto);
 
   // Pins the current generation for the caller's lifetime-of-use.
   PinnedGraph Pin() const;

@@ -79,7 +79,7 @@ QueryService::QueryService(std::shared_ptr<GraphStore> store, int num_gps,
 StatusOr<std::unique_ptr<QueryService>> QueryService::FromGraphFile(
     const std::string& path, const ServiceOptions& options) {
   uint64_t generation = 0;
-  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation);
+  StatusOr<Graph> loaded = LoadGraphAuto(path, &generation, options.map_mode);
   RTR_RETURN_IF_ERROR(loaded.status());
   auto store = std::make_shared<GraphStore>(
       std::make_shared<const Graph>(std::move(loaded).value()), generation);

@@ -1,7 +1,7 @@
 // rtr — command-line interface to the RoundTripRank library.
 //
 //   rtr generate    --dataset bibnet|qlog [--seed N] [--out graph.txt]
-//   rtr convert     <in> <out>
+//   rtr convert     <in> <out> [--probs=f32]
 //   rtr info        <graph-or-delta-file>        (also: --graph graph.txt)
 //   rtr diff        <base> <next> <out.rtrdelta>
 //   rtr apply-delta <base> <delta> [<delta> ...] <out.rtrsnap>
@@ -9,7 +9,8 @@
 //                   [--beta 0.5] [--k 10] [--type venue]
 //   rtr topk        --graph graph.txt --query 5 [--k 10] [--eps 0.01]
 //                   [--scheme 2sbound|gupta|sarkar|g+s|naive]
-//   rtr serve       [--graph graph.txt] [--delta d1.rtrdelta,d2.rtrdelta]
+//   rtr serve       [--graph graph.txt] [--mmap]
+//                   [--delta d1.rtrdelta,d2.rtrdelta]
 //                   [--queries 200] [--qps 200] [--workers 4] [--queue 256]
 //                   [--cache 1] [--cache-capacity 1024]
 //                   [--backend local|dist] [--gps 4] [--k 10] [--eps 0.01]
@@ -20,7 +21,10 @@
 // Every --graph flag accepts either the text format of graph/io.h or the
 // binary snapshot format of graph/snapshot.h, auto-detected by magic;
 // `convert` translates between the two (a text input becomes a snapshot and
-// vice versa). `generate` emits the synthetic datasets used by the
+// vice versa; `--probs=f32` writes a v3 snapshot that also carries float32
+// probability columns for the vectorized kernels). `serve --mmap` loads a
+// snapshot graph zero-copy via mmap (MapMode::kPrefer, with a logged
+// bulk-read fallback); without the flag, the RTR_GRAPH_MMAP env var decides. `generate` emits the synthetic datasets used by the
 // benchmark suite. `info` on a binary snapshot or delta file prints the
 // header (format version, generation, counts, checksum) without loading the
 // payload. `diff` computes the delta between two append-only graph
@@ -85,16 +89,25 @@ using rtr::NodeId;
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; i += 2) {
+    for (int i = first; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         std::exit(2);
+      }
+      // Known boolean flags may stand alone (`serve --mmap`); an explicit
+      // value (`--mmap 0`) still works.
+      if (IsBooleanFlag(argv[i] + 2) &&
+          (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+        values_[argv[i] + 2] = "1";
+        i += 1;
+        continue;
       }
       if (i + 1 >= argc) {
         std::fprintf(stderr, "flag '%s' is missing a value\n", argv[i]);
         std::exit(2);
       }
       values_[argv[i] + 2] = argv[i + 1];
+      i += 2;
     }
   }
 
@@ -112,8 +125,17 @@ class Flags {
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    return it != values_.end() && it->second != "0" && it->second != "off" &&
+           it->second != "false";
+  }
 
  private:
+  static bool IsBooleanFlag(const char* name) {
+    return std::strcmp(name, "mmap") == 0;
+  }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -183,12 +205,37 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
-// `rtr convert <in> <out>`: translates between the text and binary snapshot
-// graph formats. The input format is auto-detected by magic; the output is
-// written in the other format.
+// `rtr convert <in> <out> [--probs=f32]`: translates between the text and
+// binary snapshot graph formats. The input format is auto-detected by magic;
+// the output is written in the other format. `--probs=f32` asks for a v3
+// snapshot carrying the derived float32 probability columns alongside the
+// exact f64 ones (see graph/snapshot.h); it only applies when the output is
+// a snapshot.
 int CmdConvert(int argc, char** argv) {
-  if (argc != 4) {
-    std::fprintf(stderr, "usage: rtr convert <in> <out>\n");
+  bool f32_probs = false;
+  int positional = argc;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--probs=f32") {
+      f32_probs = true;
+    } else if (arg == "--probs" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "f32") {
+        f32_probs = true;
+      } else if (value != "f64") {
+        std::fprintf(stderr, "unknown --probs value '%s' (want f32 or f64)\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--probs=f64") {
+      f32_probs = false;
+    } else {
+      positional = i;
+      break;
+    }
+  }
+  if (argc != 4 && (positional != argc || argc < 4)) {
+    std::fprintf(stderr, "usage: rtr convert <in> <out> [--probs=f32]\n");
     return 2;
   }
   const std::string in_path = argv[2];
@@ -199,6 +246,13 @@ int CmdConvert(int argc, char** argv) {
                  is_snapshot.status().ToString().c_str());
     return 1;
   }
+  if (*is_snapshot && f32_probs) {
+    std::fprintf(stderr,
+                 "--probs=f32 needs a snapshot output (input %s is already a "
+                 "snapshot, so the output is text)\n",
+                 in_path.c_str());
+    return 2;
+  }
   rtr::StatusOr<Graph> graph = *is_snapshot
                                    ? rtr::LoadGraphSnapshotFromFile(in_path)
                                    : rtr::LoadGraphFromFile(in_path);
@@ -207,9 +261,11 @@ int CmdConvert(int argc, char** argv) {
                  graph.status().ToString().c_str());
     return 1;
   }
-  rtr::Status status = *is_snapshot
-                           ? rtr::SaveGraphToFile(*graph, out_path)
-                           : rtr::SaveGraphSnapshotToFile(*graph, out_path);
+  rtr::SnapshotWriteOptions options;
+  options.f32_probs = f32_probs;
+  rtr::Status status =
+      *is_snapshot ? rtr::SaveGraphToFile(*graph, out_path)
+                   : rtr::SaveGraphSnapshotToFile(*graph, out_path, options);
   if (!status.ok()) {
     std::fprintf(stderr, "cannot write graph: %s\n",
                  status.ToString().c_str());
@@ -218,7 +274,8 @@ int CmdConvert(int argc, char** argv) {
   std::printf("%s -> %s: %zu nodes, %zu arcs (%s -> %s)\n", in_path.c_str(),
               out_path.c_str(), graph->num_nodes(), graph->num_arcs(),
               *is_snapshot ? "snapshot" : "text",
-              *is_snapshot ? "text" : "snapshot");
+              *is_snapshot ? "text" : f32_probs ? "snapshot v3 (f64+f32 probs)"
+                                                : "snapshot");
   return 0;
 }
 
@@ -287,6 +344,7 @@ int CmdInfoPath(const std::string& path) {
                 static_cast<unsigned long long>(info->num_types),
                 static_cast<unsigned long long>(info->num_nodes),
                 static_cast<unsigned long long>(info->num_arcs));
+    std::printf("probs: %s\n", info->has_f32_probs ? "f64 + f32" : "f64");
     std::printf("payload checksum: %016llx\n",
                 static_cast<unsigned long long>(info->payload_checksum));
     return 0;
@@ -512,16 +570,29 @@ int CmdServe(const Flags& flags) {
   uint64_t generation = 0;
   std::unique_ptr<rtr::datasets::QLog> qlog;
   std::vector<NodeId> query_pool_source;  // candidate query nodes
+  // --mmap asks for the zero-copy snapshot loader (with bulk-read
+  // fallback); the default kAuto honors RTR_GRAPH_MMAP instead.
+  const rtr::MapMode map_mode =
+      flags.GetBool("mmap") ? rtr::MapMode::kPrefer : rtr::MapMode::kAuto;
   if (flags.Has("graph")) {
-    rtr::StatusOr<Graph> loaded =
-        rtr::LoadGraphAuto(flags.GetString("graph", ""), &generation);
+    rtr::StatusOr<Graph> loaded = rtr::LoadGraphAuto(
+        flags.GetString("graph", ""), &generation, map_mode);
     if (!loaded.ok()) {
       std::fprintf(stderr, "cannot load graph: %s\n",
                    loaded.status().ToString().c_str());
       return 1;
     }
+    if (flags.GetBool("mmap") && !loaded->is_mapped()) {
+      std::fprintf(stderr,
+                   "note: --mmap fell back to a bulk read (see warning "
+                   "above)\n");
+    }
     graph_sp = std::make_shared<const Graph>(std::move(loaded).value());
   } else {
+    if (flags.GetBool("mmap")) {
+      std::fprintf(stderr, "--mmap needs --graph <snapshot file>\n");
+      return 2;
+    }
     rtr::datasets::QLogConfig config;
     uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
     if (seed != 0) config.seed = seed;
@@ -779,13 +850,18 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: rtr <generate|convert|info|diff|apply-delta|rank|"
                "topk|serve> [--flag value ...]\n"
-               "       rtr convert <in> <out>   (text <-> binary snapshot, "
-               "auto-detected)\n"
+               "       rtr convert <in> <out> [--probs=f32]\n"
+               "                                (text <-> binary snapshot, "
+               "auto-detected;\n"
+               "                                 --probs=f32 writes a v3 "
+               "snapshot with f32 columns)\n"
                "       rtr info <file>          (snapshot/delta header, or "
                "text graph summary)\n"
                "       rtr diff <base> <next> <out.rtrdelta>\n"
                "       rtr apply-delta <base> <delta> [<delta> ...] "
                "<out.rtrsnap>\n"
+               "       rtr serve --graph <snapshot> [--mmap]  (zero-copy "
+               "mapped load)\n"
                "see the header of tools/rtr_cli.cc for details\n");
 }
 
