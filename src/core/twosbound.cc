@@ -134,7 +134,11 @@ Status TopKRoundTripRank(const Graph& g, const Query& query,
     }
   }
   result->Clear();
-  ws.BeginQuery(g.num_nodes());
+  // Carry-aware reset: a repeat of the previous (query, alpha) — e.g. a
+  // scheduler batch hammering one hot node — keeps the teleport vector
+  // warm instead of clearing and rebuilding it. Query range was validated
+  // above, as the carry path requires.
+  ws.BeginQuery(g.num_nodes(), query, params.alpha);
   if (params.scheme == TopKScheme::kNaive) {
     NaiveTopKInto(g, query, params, ws, result);
     return Status::OK();

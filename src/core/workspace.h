@@ -187,6 +187,16 @@ class QueryWorkspace {
   // the graph size changes.
   void BeginQuery(size_t n);
 
+  // Carry-aware variant for callers that know the upcoming query: when the
+  // previous query built a teleport vector for the same (query, alpha) on
+  // the same graph size, the vector is kept instead of being cleared and
+  // rebuilt — a scheduler batch of repeats of one hot query warms it once.
+  // Teleport is a pure function of (query, alpha, n), so carrying it never
+  // changes scores (workspace_test pins bit-identity). The query must
+  // already be validated against [0, n) — this skips Teleport()'s range
+  // CHECKs on the carry path.
+  void BeginQuery(size_t n, const Query& query, double alpha);
+
   size_t num_nodes() const { return num_nodes_; }
 
   // Shared teleport vector alpha * I(q, v) of Eqs. 17-18, built lazily on
@@ -245,9 +255,16 @@ class QueryWorkspace {
   std::vector<NodeId> exact_ids;
 
  private:
+  // Shared reset body; keep_teleport preserves the built teleport vector
+  // (and its touched list, still needed by the next full reset).
+  void Reset(size_t n, bool keep_teleport);
+
   size_t num_nodes_ = 0;
   bool teleport_built_ = false;
   double teleport_alpha_ = 0.0;
+  // The query the current teleport vector was built for (carry detection);
+  // cleared by the query-blind BeginQuery(n) overload.
+  Query last_query_;
 };
 
 }  // namespace rtr::core

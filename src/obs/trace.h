@@ -38,8 +38,9 @@ enum class Phase : uint8_t {
   kStage1Expand = 3,   // Stage I: bound-convergence expansion rounds
   kStage2Refine = 4,   // Stage II: candidate refinement sweeps
   kFinalize = 5,       // candidate assembly, sort, top-K emit
+  kSchedWait = 6,      // scheduler admission: enqueue -> batch drain pickup
 };
-inline constexpr size_t kNumPhases = 6;
+inline constexpr size_t kNumPhases = 7;
 
 // Stable lowercase label value for a phase ("queue_wait", "stage1_expand",
 // ...).

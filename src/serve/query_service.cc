@@ -107,8 +107,26 @@ void QueryService::RegisterMetrics() {
   registrations_.push_back(registry.RegisterCallbackGauge(
       "rtr_serve_queue_depth", labels, [this] {
         std::lock_guard<std::mutex> lock(mu_);
-        return static_cast<double>(queue_.size());
+        return static_cast<double>(queue_.size() + sched_queue_.size());
       }));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_sched_shed_overflow_total", labels, &shed_overflow_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_sched_shed_predicted_total", labels, &shed_predicted_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_sched_eps_widened_total", labels, &eps_widened_));
+  registrations_.push_back(
+      registry.RegisterCounter("rtr_sched_batches_total", labels, &batches_));
+  registrations_.push_back(registry.RegisterCounter(
+      "rtr_sched_batched_queries_total", labels, &batched_queries_));
+  for (size_t c = 0; c < kNumCostClasses; ++c) {
+    obs::Labels class_labels = labels;
+    class_labels.emplace_back("class",
+                              CostClassName(static_cast<CostClass>(c)));
+    registrations_.push_back(registry.RegisterHistogram(
+        "rtr_serve_queue_wait_ms", std::move(class_labels),
+        &class_queue_wait_[c]));
+  }
   registrations_.push_back(registry.RegisterCallbackGauge(
       "rtr_serve_qps", labels, [this] {
         double elapsed = 0.0;
@@ -229,6 +247,7 @@ void QueryService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     orphaned.swap(queue_);
+    while (!sched_queue_.empty()) orphaned.push_back(sched_queue_.Pop());
     if (started_ && frozen_elapsed_seconds_ < 0.0) {
       frozen_elapsed_seconds_ = uptime_.ElapsedSeconds();
     }
@@ -238,26 +257,83 @@ void QueryService::Shutdown() {
     response.status = Status::Unavailable("service shut down before execution");
     response.queue_millis = task.admitted.ElapsedMillis();
     response.total_millis = response.queue_millis;
+    response.effective_epsilon = task.request.params.epsilon;
     completed_.Increment();
     failed_.Increment();
     if (task.done) task.done(response);
   }
 }
 
+std::shared_ptr<const Graph> QueryService::AdmissionGraph() {
+  if (store_ != nullptr) return store_->Current();
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  return cluster_->graph_ptr();
+}
+
 Status QueryService::SubmitAsync(ServeRequest request, DoneCallback done) {
+  const SchedulerOptions& sched = options_.scheduler;
+  Task task;
+  task.request = std::move(request);
+  task.done = std::move(done);
+  task.effective_epsilon = task.request.params.epsilon;
+  // Admission-time cost estimate against the currently published
+  // generation: two offset subtractions per query node, no allocation.
+  // Execution may pin a newer generation — the estimate is a scheduling
+  // hint, not a contract.
+  task.features =
+      CostFeaturesOf(*AdmissionGraph(), task.request.query,
+                     task.request.params);
+  task.predicted_millis = cost_model_.PredictMillis(task.features);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       rejected_.Increment();
       return Status::Unavailable("service is shutting down");
     }
-    if (queue_.size() >= options_.queue_capacity) {
+    const size_t depth = sched.enabled ? sched_queue_.size() : queue_.size();
+    if (depth >= options_.queue_capacity) {
       rejected_.Increment();
+      shed_overflow_.Increment();
       return Status::Unavailable(
           "admission queue full (capacity " +
           std::to_string(options_.queue_capacity) + ")");
     }
-    queue_.push_back(Task{std::move(request), std::move(done), WallTimer()});
+    // Decayed mean of predictions anchors the cheap/moderate/heavy split.
+    mean_predicted_millis_ =
+        mean_predicted_millis_ <= 0.0
+            ? task.predicted_millis
+            : 0.9 * mean_predicted_millis_ + 0.1 * task.predicted_millis;
+    task.cost_class =
+        ClassifyCost(task.predicted_millis, mean_predicted_millis_);
+    if (sched.enabled) {
+      if (task.request.deadline_millis > 0.0) {
+        const double completion = PredictedCompletionMillis(
+            sched_queue_.total_predicted_millis(), options_.num_workers,
+            task.predicted_millis);
+        if (completion > task.request.deadline_millis) {
+          rejected_.Increment();
+          shed_predicted_.Increment();
+          return Status::Unavailable(
+              "predicted completion " + std::to_string(completion) +
+              "ms exceeds deadline " +
+              std::to_string(task.request.deadline_millis) + "ms");
+        }
+      }
+      task.effective_epsilon =
+          EffectiveEpsilon(task.request.params.epsilon, sched, depth,
+                           options_.queue_capacity);
+      if (task.effective_epsilon != task.request.params.epsilon) {
+        eps_widened_.Increment();
+      }
+      const double key =
+          PriorityKey(task.predicted_millis, arrival_clock_.ElapsedMillis(),
+                      sched.age_boost);
+      task.admitted.Restart();
+      sched_queue_.Push(key, task.predicted_millis, std::move(task));
+    } else {
+      task.admitted.Restart();
+      queue_.push_back(std::move(task));
+    }
     // Count inside the critical section so no observer ever sees a task
     // completed before it was accepted.
     accepted_.Increment();
@@ -282,6 +358,10 @@ StatusOr<ServeResponse> QueryService::Call(const ServeRequest& request) {
 }
 
 void QueryService::WorkerLoop() {
+  if (options_.scheduler.enabled) {
+    SchedWorkerLoop();
+    return;
+  }
   // The worker's reusable query arena: sized on the first query, then
   // allocation-free for the rest of the worker's life (DESIGN.md §7).
   core::QueryWorkspace workspace;
@@ -299,6 +379,9 @@ void QueryService::WorkerLoop() {
     }
     ServeResponse response;
     response.queue_millis = task.admitted.ElapsedMillis();
+    response.effective_epsilon = task.request.params.epsilon;
+    class_queue_wait_[static_cast<size_t>(task.cost_class)].Record(
+        response.queue_millis);
     const bool traced = tracing_.load(std::memory_order_relaxed);
     if (traced) {
       trace.BeginQuery(static_cast<int64_t>(
@@ -325,6 +408,129 @@ void QueryService::WorkerLoop() {
     completed_.Increment();
     if (task.done) task.done(response);
   }
+}
+
+void QueryService::SchedWorkerLoop() {
+  core::QueryWorkspace workspace;
+  obs::TraceRecorder trace;
+  std::vector<Task> batch;
+  batch.reserve(std::max<size_t>(1, options_.scheduler.batch_size));
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !sched_queue_.empty(); });
+      if (sched_queue_.empty()) return;  // stopping and fully drained
+      // Fair drain: take up to batch_size, but leave work behind for idle
+      // peers — a worker only batches beyond one query when the queue is
+      // deeper than the pool could cover one-each.
+      const size_t workers =
+          static_cast<size_t>(std::max(options_.num_workers, 1));
+      const size_t take =
+          std::min(std::max<size_t>(1, options_.scheduler.batch_size),
+                   1 + (sched_queue_.size() - 1) / workers);
+      while (batch.size() < take && !sched_queue_.empty()) {
+        batch.push_back(sched_queue_.Pop());
+      }
+    }
+    // One generation pin, observe-generation cache walk, and (in dist-live
+    // mode) restripe check amortized over the whole batch; the workspace
+    // stays warm across its queries, so a batch of repeats of one hot
+    // query also reuses the teleport vector (core/workspace.h).
+    std::shared_ptr<const dist::Cluster> cluster;
+    WallTimer pin_timer;
+    PinnedGraph pinned = PinForQuery(&cluster);
+    const double pin_millis = pin_timer.ElapsedMillis();
+    ObserveGeneration(pinned.generation);
+    batches_.Increment();
+    batched_queries_.Add(batch.size());
+    for (Task& task : batch) {
+      RunScheduledTask(task, pinned, cluster, pin_millis, &workspace, &trace);
+    }
+  }
+}
+
+void QueryService::RunScheduledTask(
+    Task& task, const PinnedGraph& pinned,
+    const std::shared_ptr<const dist::Cluster>& cluster, double pin_millis,
+    core::QueryWorkspace* workspace, obs::TraceRecorder* trace) {
+  ServeResponse response;
+  response.queue_millis = task.admitted.ElapsedMillis();
+  response.effective_epsilon = task.effective_epsilon;
+  response.predicted_millis = task.predicted_millis;
+  response.generation = pinned.generation;
+  class_queue_wait_[static_cast<size_t>(task.cost_class)].Record(
+      response.queue_millis);
+  const bool traced = tracing_.load(std::memory_order_relaxed);
+  if (traced) {
+    trace->BeginQuery(static_cast<int64_t>(
+        next_query_id_.fetch_add(1, std::memory_order_relaxed)));
+    trace->AddSpan(obs::Phase::kSchedWait,
+                   static_cast<int64_t>(response.queue_millis * 1e6));
+    trace->AddSpan(obs::Phase::kGenerationPin,
+                   static_cast<int64_t>(pin_millis * 1e6));
+    workspace->trace = trace;
+  } else {
+    workspace->trace = nullptr;
+  }
+  // The widened epsilon is what actually runs — and what the cache keys
+  // on, so a widened answer is never returned to a full-precision request
+  // (or vice versa).
+  core::TopKParams effective_params = task.request.params;
+  effective_params.epsilon = task.effective_epsilon;
+  double engine_millis = -1.0;
+  ExecutePinned(task.request.query, effective_params, pinned, cluster.get(),
+                &response, workspace, &engine_millis);
+  response.total_millis = task.admitted.ElapsedMillis();
+  if (traced) {
+    workspace->trace = nullptr;
+    RecordTrace(*trace, response.total_millis);
+  }
+  latencies_.Record(response.total_millis);
+  if (response.total_millis > options_.slo_millis) {
+    slo_violations_.Increment();
+  }
+  if (!response.status.ok()) {
+    failed_.Increment();
+  }
+  completed_.Increment();
+  // Close the online-learning loop on engine runs only: a cache hit
+  // carries no signal about engine cost.
+  if (engine_millis >= 0.0 && response.status.ok()) {
+    cost_model_.Observe(task.features, engine_millis);
+  }
+  if (task.done) task.done(response);
+}
+
+void QueryService::ExecutePinned(const Query& query,
+                                 const core::TopKParams& params,
+                                 const PinnedGraph& pinned,
+                                 const dist::Cluster* cluster,
+                                 ServeResponse* response,
+                                 core::QueryWorkspace* workspace,
+                                 double* engine_millis) {
+  if (!options_.enable_cache) {
+    WallTimer engine_timer;
+    response->status = RunEngine(query, params, *pinned.graph, cluster,
+                                 &response->topk, workspace);
+    *engine_millis = engine_timer.ElapsedMillis();
+    return;
+  }
+  CacheKey key = CacheKey::Of(query, params, pinned.generation);
+  {
+    obs::ScopedSpan span(workspace->trace, obs::Phase::kCacheLookup);
+    if (std::shared_ptr<const core::TopKResult> hit = cache_.Lookup(key)) {
+      response->topk = *hit;
+      response->cache_hit = true;
+      return;
+    }
+  }
+  WallTimer engine_timer;
+  response->status = RunEngine(query, params, *pinned.graph, cluster,
+                               &response->topk, workspace);
+  *engine_millis = engine_timer.ElapsedMillis();
+  if (response->status.ok()) cache_.Insert(key, response->topk);
 }
 
 PinnedGraph QueryService::PinForQuery(
@@ -391,8 +597,8 @@ void QueryService::Execute(const ServeRequest& request,
   ObserveGeneration(pinned.generation);
   response->generation = pinned.generation;
   if (!options_.enable_cache) {
-    response->status = RunEngine(request, *pinned.graph, cluster.get(),
-                                 &response->topk, workspace);
+    response->status = RunEngine(request.query, request.params, *pinned.graph,
+                                 cluster.get(), &response->topk, workspace);
     return;
   }
   CacheKey key = CacheKey::Of(request.query, request.params,
@@ -406,12 +612,13 @@ void QueryService::Execute(const ServeRequest& request,
       return;
     }
   }
-  response->status = RunEngine(request, *pinned.graph, cluster.get(),
-                               &response->topk, workspace);
+  response->status = RunEngine(request.query, request.params, *pinned.graph,
+                               cluster.get(), &response->topk, workspace);
   if (response->status.ok()) cache_.Insert(key, response->topk);
 }
 
-Status QueryService::RunEngine(const ServeRequest& request,
+Status QueryService::RunEngine(const Query& query,
+                               const core::TopKParams& params,
                                const Graph& graph,
                                const dist::Cluster* cluster,
                                core::TopKResult* topk,
@@ -419,12 +626,10 @@ Status QueryService::RunEngine(const ServeRequest& request,
   if (backend_ == Backend::kLocal) {
     // Engine output lands directly in the response's result object; all
     // O(num_nodes) scratch comes from the worker's arena.
-    return core::TopKRoundTripRank(graph, request.query, request.params,
-                                   *workspace, topk);
+    return core::TopKRoundTripRank(graph, query, params, *workspace, topk);
   }
   StatusOr<dist::DistributedTopKResult> result =
-      dist::DistributedTopK(*cluster, request.query, request.params,
-                            workspace);
+      dist::DistributedTopK(*cluster, query, params, workspace);
   if (!result.ok()) return result.status();
   *topk = std::move(result->topk);
   return Status::OK();
@@ -434,9 +639,23 @@ ServiceStats QueryService::stats() const {
   ServiceStats stats;
   stats.accepted = accepted_.value();
   stats.rejected = rejected_.value();
+  stats.shed_overflow = shed_overflow_.value();
+  stats.shed_predicted = shed_predicted_.value();
   stats.completed = completed_.value();
   stats.failed = failed_.value();
   stats.slo_violations = slo_violations_.value();
+  stats.eps_widened = eps_widened_.value();
+  stats.batches = batches_.value();
+  stats.batched_queries = batched_queries_.value();
+  for (size_t c = 0; c < kNumCostClasses; ++c) {
+    const uint64_t count = class_queue_wait_[c].Count();
+    stats.queue_wait[c].count = count;
+    stats.queue_wait[c].mean_millis =
+        count > 0 ? class_queue_wait_[c].SumMillis() /
+                        static_cast<double>(count)
+                  : 0.0;
+    stats.queue_wait[c].p99_millis = class_queue_wait_[c].P99();
+  }
   CacheStats cache_stats = cache_.stats();
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;

@@ -50,7 +50,9 @@
 #include "graph/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/cost_model.h"
 #include "serve/result_cache.h"
+#include "serve/scheduler.h"
 #include "util/latency_histogram.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -89,11 +91,21 @@ struct ServiceOptions {
   // snapshot, so N service processes on one host share one physical copy
   // of the columns (`rtr_cli serve --mmap`).
   MapMode map_mode = MapMode::kAuto;
+  // Cost-model admission scheduling (serve/scheduler.h, DESIGN.md §11):
+  // priority queue ordered by predicted cost, batched worker drains,
+  // deadline shedding, adaptive epsilon. Disabled by default — the FIFO
+  // deque path is preserved byte for byte.
+  SchedulerOptions scheduler;
 };
 
 struct ServeRequest {
   Query query;
   core::TopKParams params;
+  // Optional completion budget, measured from admission. With the
+  // scheduler on, admission rejects (kUnavailable, counted in
+  // shed_predicted) requests whose predicted completion exceeds this; 0
+  // means no deadline. The FIFO path ignores it.
+  double deadline_millis = 0.0;
 };
 
 struct ServeResponse {
@@ -109,12 +121,26 @@ struct ServeResponse {
   // Time from admission to worker pickup, and to completion.
   double queue_millis = 0.0;
   double total_millis = 0.0;
+  // Epsilon the query actually ran (and cached) under. Equals the request
+  // epsilon unless the scheduler widened it under load — clients can tell
+  // precision was degraded instead of availability.
+  double effective_epsilon = 0.0;
+  // The cost model's admission-time latency estimate (scheduler mode; 0 on
+  // the FIFO path).
+  double predicted_millis = 0.0;
 };
 
 // Monotonic service counters plus derived latency/throughput figures.
 struct ServiceStats {
   uint64_t accepted = 0;
-  uint64_t rejected = 0;   // admission-queue overflow or stopped service
+  uint64_t rejected = 0;   // every rejection: overflow + shed + stopping
+  // Rejection reasons, reported separately so overload diagnosis doesn't
+  // have to infer them: queue-capacity overflow (either admission mode)
+  // vs the scheduler's deadline shed (predicted completion past the
+  // request deadline). rejected - shed_overflow - shed_predicted =
+  // requests refused because the service was stopping.
+  uint64_t shed_overflow = 0;
+  uint64_t shed_predicted = 0;
   // Requests whose callback fired, including those a never-started
   // service completed as kUnavailable at Shutdown; only requests actually
   // served by a worker are recorded in the latency histogram.
@@ -126,6 +152,12 @@ struct ServiceStats {
   uint64_t cache_insertions = 0;
   uint64_t cache_evictions = 0;      // LRU capacity evictions
   uint64_t cache_invalidations = 0;  // reclaimed after generation swaps
+  // Scheduler-mode activity: queries that ran with a widened epsilon,
+  // worker batch drains, and queries served through those drains
+  // (batched_queries / batches = achieved batch occupancy).
+  uint64_t eps_widened = 0;
+  uint64_t batches = 0;
+  uint64_t batched_queries = 0;
   // Highest graph generation the service has observed: the generation at
   // construction until a query pins a newer one (always 0 for static
   // graphs loaded without a generation id).
@@ -135,6 +167,15 @@ struct ServiceStats {
   double p50_millis = 0.0;
   double p95_millis = 0.0;
   double p99_millis = 0.0;
+  // Queue wait split by predicted-cost class (scheduler.h), so "cheap
+  // queries stopped waiting behind heavy ones" is a measurement, not an
+  // inference. Populated in both admission modes.
+  struct ClassQueueWait {
+    uint64_t count = 0;
+    double mean_millis = 0.0;
+    double p99_millis = 0.0;
+  };
+  std::array<ClassQueueWait, kNumCostClasses> queue_wait{};
 };
 
 // A thread-pooled top-K RoundTripRank service over a graph (one fixed
@@ -227,17 +268,44 @@ class QueryService {
   // slowest first, at most options().trace_keep entries.
   std::vector<std::string> SlowestTraces() const;
 
+  // Read-only handle to the online cost model (tests, benches).
+  const QueryCostModel& cost_model() const { return cost_model_; }
+
  private:
   struct Task {
     ServeRequest request;
     DoneCallback done;
     WallTimer admitted;  // started at admission
+    // Admission-time scheduling state (computed in SubmitAsync).
+    CostFeatures features;
+    double predicted_millis = 0.0;
+    double effective_epsilon = 0.0;
+    CostClass cost_class = CostClass::kModerate;
   };
 
   // Each worker owns one core::QueryWorkspace (the per-query arena of
   // DESIGN.md §7) for its whole lifetime, so steady-state cache misses run
   // the engine without O(num_nodes) allocation or zeroing.
   void WorkerLoop();
+  // Scheduler-mode worker loop: drains cost-ordered batches from
+  // sched_queue_, pinning the generation once per batch.
+  void SchedWorkerLoop();
+  // Runs one scheduled task on an already-pinned generation. pin_millis is
+  // the batch's (amortized) pin duration, attributed to each traced query.
+  void RunScheduledTask(Task& task, const PinnedGraph& pinned,
+                        const std::shared_ptr<const dist::Cluster>& cluster,
+                        double pin_millis, core::QueryWorkspace* workspace,
+                        obs::TraceRecorder* trace);
+  // Cache lookup + engine dispatch against a pre-pinned generation, with
+  // the caller's (possibly widened) params. Sets *engine_millis to the
+  // measured engine time, or leaves it negative on a cache hit.
+  void ExecutePinned(const Query& query, const core::TopKParams& params,
+                     const PinnedGraph& pinned, const dist::Cluster* cluster,
+                     ServeResponse* response, core::QueryWorkspace* workspace,
+                     double* engine_millis);
+  // The currently published graph, for admission-time feature extraction
+  // (degree lookups). Never blocks on a restripe.
+  std::shared_ptr<const Graph> AdmissionGraph();
   // Registers this service's series with the default metrics registry;
   // called once from every non-delegating constructor.
   void RegisterMetrics();
@@ -255,8 +323,9 @@ class QueryService {
   // cache entries of retired generations.
   void ObserveGeneration(uint64_t generation);
   // Backend dispatch for one cache miss, on the pinned generation.
-  Status RunEngine(const ServeRequest& request, const Graph& graph,
-                   const dist::Cluster* cluster, core::TopKResult* topk,
+  Status RunEngine(const Query& query, const core::TopKParams& params,
+                   const Graph& graph, const dist::Cluster* cluster,
+                   core::TopKResult* topk,
                    core::QueryWorkspace* workspace) const;
 
   // Graph source. store_ is non-null in every mode except dist-static
@@ -279,7 +348,18 @@ class QueryService {
   // Held for the whole of Shutdown; see the comment there.
   std::mutex shutdown_mu_;
   std::condition_variable queue_cv_;
+  // Exactly one of these holds queued work: the FIFO deque (scheduler
+  // off — the original admission path, untouched) or the cost-ordered
+  // priority queue (scheduler on). Both under mu_.
   std::deque<Task> queue_;
+  AdmissionQueue<Task> sched_queue_;
+  // Decayed mean of admission-time predictions; anchors the
+  // cheap/moderate/heavy class split. Under mu_.
+  double mean_predicted_millis_ = 0.0;
+  // Common arrival clock for the static priority keys (scheduler.h);
+  // started at construction, never restarted.
+  WallTimer arrival_clock_;
+  QueryCostModel cost_model_;
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool stopping_ = false;
@@ -295,6 +375,17 @@ class QueryService {
   obs::Counter completed_;
   obs::Counter failed_;
   obs::Counter slo_violations_;
+  // Scheduler series (rtr_sched_*): split rejection reasons, widened-
+  // epsilon queries, batch drains. shed_overflow_ also counts FIFO-mode
+  // queue-full rejections so the reason split covers both paths.
+  obs::Counter shed_overflow_;
+  obs::Counter shed_predicted_;
+  obs::Counter eps_widened_;
+  obs::Counter batches_;
+  obs::Counter batched_queries_;
+  // Queue wait split by predicted-cost class
+  // (rtr_serve_queue_wait_ms{class=...}).
+  std::array<LatencyHistogram, kNumCostClasses> class_queue_wait_;
 
   // Per-query phase tracing: per-phase histograms fed by traced queries,
   // plus a small ring of the slowest queries' JSON dumps.

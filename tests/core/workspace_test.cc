@@ -292,6 +292,67 @@ TEST(QueryWorkspaceTest, NaiveSchemeThroughWorkspace) {
   ExpectSameResult(first, TopKRoundTripRank(g, {2}, params).value());
 }
 
+TEST(QueryWorkspaceTest, TeleportCarryIsBitIdenticalOnRepeatedQuery) {
+  // Back-to-back runs of the same (query, alpha) take the carry path (the
+  // teleport vector survives the reset); scores must not move by one bit.
+  Graph g = RandomGraph(11);
+  QueryWorkspace reused;
+  TopKParams params = DefaultParams();
+  TopKResult first = TopKRoundTripRank(g, {7}, params, reused).value();
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    TopKResult again = TopKRoundTripRank(g, {7}, params, reused).value();
+    ExpectSameResult(first, again);
+  }
+  QueryWorkspace fresh;
+  ExpectSameResult(first, TopKRoundTripRank(g, {7}, params, fresh).value());
+}
+
+TEST(QueryWorkspaceTest, TeleportCarryInvalidatedOnQueryOrAlphaChange) {
+  Graph g = RandomGraph(12);
+  QueryWorkspace ws;
+  TopKParams params = DefaultParams();
+  TopKResult a = TopKRoundTripRank(g, {3}, params, ws).value();
+  // Different query node: node 3's teleport mass must be gone.
+  TopKResult b = TopKRoundTripRank(g, {4}, params, ws).value();
+  ExpectSameResult(b, TopKRoundTripRank(g, {4}, params).value());
+  // Different alpha on the original node.
+  TopKParams other_alpha = params;
+  other_alpha.alpha = 0.5;
+  TopKResult c = TopKRoundTripRank(g, {3}, other_alpha, ws).value();
+  ExpectSameResult(c, TopKRoundTripRank(g, {3}, other_alpha).value());
+  // Back to the original (query, alpha): still matches a fresh run.
+  ExpectSameResult(a, TopKRoundTripRank(g, {3}, params, ws).value());
+}
+
+TEST(QueryWorkspaceTest, CarryKeepsAndClearsTeleportEntries) {
+  QueryWorkspace ws;
+  Query query = {2, 5};
+  ws.BeginQuery(10, query, 0.25);
+  ws.Teleport(query, 0.25);
+  EXPECT_DOUBLE_EQ(ws.teleport[2], 0.125);
+  EXPECT_DOUBLE_EQ(ws.teleport[5], 0.125);
+  // Carry: the vector survives, and Teleport() must NOT rebuild on top of
+  // it (the entries would double).
+  ws.BeginQuery(10, query, 0.25);
+  EXPECT_DOUBLE_EQ(ws.teleport[2], 0.125);
+  ws.Teleport(query, 0.25);
+  EXPECT_DOUBLE_EQ(ws.teleport[2], 0.125);
+  EXPECT_DOUBLE_EQ(ws.teleport[5], 0.125);
+  // Non-carry (different query): kept entries are cleared by the reset.
+  Query other = {3};
+  ws.BeginQuery(10, other, 0.25);
+  EXPECT_DOUBLE_EQ(ws.teleport[2], 0.0);
+  EXPECT_DOUBLE_EQ(ws.teleport[5], 0.0);
+  // The query-blind overload also drops carry state: a subsequent
+  // carry-aware reset of {3} must rebuild rather than trust stale entries.
+  ws.Teleport(other, 0.25);
+  ws.BeginQuery(10);
+  EXPECT_DOUBLE_EQ(ws.teleport[3], 0.0);
+  ws.BeginQuery(10, other, 0.25);
+  ws.Teleport(other, 0.25);
+  EXPECT_DOUBLE_EQ(ws.teleport[3], 0.25);
+}
+
 TEST(QueryWorkspaceTest, BcaReuseMatchesFreshWorkspace) {
   Graph g = RandomGraph(8);
   QueryWorkspace ws;

@@ -17,6 +17,8 @@
 //                   [--slo-ms 50] [--repeat 0.5] [--seed 7] [--threads N]
 //                   [--metrics-out metrics.txt] [--metrics-interval-ms 1000]
 //                   [--trace N] [--tracing 0|1]
+//                   [--scheduler] [--batch 8] [--deadline-ms D]
+//                   [--eps-band MAX] [--replay stream.rtrq]
 //
 // Every --graph flag accepts either the text format of graph/io.h or the
 // binary snapshot format of graph/snapshot.h, auto-detected by magic;
@@ -38,6 +40,16 @@
 //
 // `serve --threads N` (or the RTR_NUM_THREADS env var) sizes the
 // util::ParallelFor kernel pool; results are bit-identical at any setting.
+//
+// Scheduling (DESIGN.md §11): `serve --scheduler` turns on cost-model
+// admission — shortest-predicted-job-first with batched worker drains of up
+// to --batch requests, deadline shedding (--deadline-ms gives every request
+// a completion budget; 0 = none), and adaptive epsilon up to --eps-band
+// under queue pressure. `--replay file` replaces the synthetic stream with
+// a recorded one: one record per line, `node [deadline_ms]`, `#` comments
+// and blank lines skipped. The deadline column is optional per record —
+// old node-only logs parse unchanged (records without it fall back to
+// --deadline-ms).
 //
 // Observability (DESIGN.md §9): `serve` ends by printing the process-wide
 // metrics registry in the Prometheus-style text exposition — the SAME
@@ -133,7 +145,8 @@ class Flags {
 
  private:
   static bool IsBooleanFlag(const char* name) {
-    return std::strcmp(name, "mmap") == 0;
+    return std::strcmp(name, "mmap") == 0 ||
+           std::strcmp(name, "scheduler") == 0;
   }
 
   std::map<std::string, std::string> values_;
@@ -638,6 +651,22 @@ int CmdServe(const Flags& flags) {
   options.cache_capacity = static_cast<size_t>(cache_capacity);
   options.slo_millis = flags.GetDouble("slo-ms", 50.0);
 
+  // Cost-model admission scheduling (serve/scheduler.h).
+  options.scheduler.enabled = flags.GetBool("scheduler");
+  int batch_size = flags.GetInt("batch", 8);
+  if (batch_size < 1) {
+    std::fprintf(stderr, "--batch must be >= 1\n");
+    return 2;
+  }
+  options.scheduler.batch_size = static_cast<size_t>(batch_size);
+  options.scheduler.eps_max = flags.GetDouble("eps-band", 0.0);
+  // Per-request completion budget; replay records may override it.
+  double default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (default_deadline_ms < 0.0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0\n");
+    return 2;
+  }
+
   // Tracing: --trace N prints the N slowest queries' phase traces (and
   // implies tracing on); --tracing 1 turns tracing on without the dump.
   int trace_n = flags.GetInt("trace", 0);
@@ -671,22 +700,80 @@ int CmdServe(const Flags& flags) {
   params.k = flags.GetInt("k", 10);
   params.epsilon = flags.GetDouble("eps", 0.01);
 
-  // Unique query pool: ~ (1 - repeat) of the stream; uniform draws from the
-  // pool then yield roughly the requested repeat fraction.
-  rtr::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
-  int pool_size = std::max(1, static_cast<int>(num_queries *
-                                               (1.0 - repeat)));
-  std::vector<NodeId> pool;
-  for (int i = 0; i < pool_size; ++i) {
-    NodeId q = query_pool_source.empty()
-                   ? rtr::bench::SampleQueryNode(*graph, rng)
-                   : rtr::bench::SampleQueryNode(*graph, query_pool_source,
-                                                 rng);
-    if (q == rtr::kInvalidNode) {
-      std::fprintf(stderr, "could not sample query nodes with out-arcs\n");
-      return 1;
+  // Recorded query stream: one record per line, `node [deadline_ms]`.
+  // The deadline column is optional per record (old node-only logs parse
+  // unchanged); records without it use --deadline-ms. A replay file
+  // defines the stream, so it overrides --queries.
+  struct ReplayRecord {
+    NodeId node;
+    double deadline_millis;
+  };
+  std::vector<ReplayRecord> replay;
+  if (flags.Has("replay")) {
+    const std::string replay_path = flags.GetString("replay", "");
+    std::FILE* f = std::fopen(replay_path.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot read --replay %s\n", replay_path.c_str());
+      return 2;
     }
-    pool.push_back(q);
+    char line[256];
+    int lineno = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      ++lineno;
+      char* s = line;
+      while (*s == ' ' || *s == '\t') ++s;
+      if (*s == '\0' || *s == '\n' || *s == '\r' || *s == '#') continue;
+      char* end = nullptr;
+      unsigned long long node = std::strtoull(s, &end, 10);
+      if (end == s) {
+        std::fprintf(stderr, "%s:%d: expected a node id\n",
+                     replay_path.c_str(), lineno);
+        std::fclose(f);
+        return 2;
+      }
+      double deadline = default_deadline_ms;
+      char* rest = end;
+      while (*rest == ' ' || *rest == '\t') ++rest;
+      if (*rest != '\0' && *rest != '\n' && *rest != '\r' && *rest != '#') {
+        char* dead_end = nullptr;
+        deadline = std::strtod(rest, &dead_end);
+        if (dead_end == rest || deadline < 0.0) {
+          std::fprintf(stderr, "%s:%d: bad deadline column\n",
+                       replay_path.c_str(), lineno);
+          std::fclose(f);
+          return 2;
+        }
+      }
+      replay.push_back({static_cast<NodeId>(node), deadline});
+    }
+    std::fclose(f);
+    if (replay.empty()) {
+      std::fprintf(stderr, "--replay %s holds no records\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    num_queries = static_cast<int>(replay.size());
+  }
+
+  // Unique query pool: ~ (1 - repeat) of the stream; uniform draws from the
+  // pool then yield roughly the requested repeat fraction. A replay file
+  // supplies its own nodes instead.
+  rtr::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  std::vector<NodeId> pool;
+  if (replay.empty()) {
+    int pool_size = std::max(1, static_cast<int>(num_queries *
+                                                 (1.0 - repeat)));
+    for (int i = 0; i < pool_size; ++i) {
+      NodeId q = query_pool_source.empty()
+                     ? rtr::bench::SampleQueryNode(*graph, rng)
+                     : rtr::bench::SampleQueryNode(*graph, query_pool_source,
+                                                   rng);
+      if (q == rtr::kInvalidNode) {
+        std::fprintf(stderr, "could not sample query nodes with out-arcs\n");
+        return 1;
+      }
+      pool.push_back(q);
+    }
   }
 
   // Delta files a writer thread applies mid-replay (comma-separated, in
@@ -726,6 +813,14 @@ int CmdServe(const Flags& flags) {
               target_qps, options.num_workers, options.queue_capacity,
               options.enable_cache ? "on" : "off", backend.c_str(),
               rtr::util::NumThreads(), delta_paths.size());
+  if (options.scheduler.enabled) {
+    std::printf("scheduler on: batch %zu, deadline %.1fms, eps band "
+                "[%.4f, %.4f]%s\n",
+                options.scheduler.batch_size, default_deadline_ms,
+                params.epsilon,
+                std::max(options.scheduler.eps_max, params.epsilon),
+                replay.empty() ? "" : ", replayed stream");
+  }
 
   rtr::Status status = service->Start();
   if (!status.ok()) {
@@ -805,9 +900,19 @@ int CmdServe(const Flags& flags) {
     std::this_thread::sleep_until(
         start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     interval * i));
-    NodeId q = pool[static_cast<size_t>(rng.NextUint64(pool.size()))];
+    rtr::serve::ServeRequest request;
+    request.params = params;
+    if (replay.empty()) {
+      request.query = {pool[static_cast<size_t>(
+          rng.NextUint64(pool.size()))]};
+      request.deadline_millis = default_deadline_ms;
+    } else {
+      request.query = {replay[static_cast<size_t>(i)].node};
+      request.deadline_millis = replay[static_cast<size_t>(i)].deadline_millis;
+    }
     rtr::Status submitted = service->SubmitAsync(
-        {{q}, params}, [&done_count](const rtr::serve::ServeResponse&) {
+        std::move(request),
+        [&done_count](const rtr::serve::ServeResponse&) {
           done_count.fetch_add(1);
         });
     if (submitted.ok()) ++accepted;
@@ -832,6 +937,35 @@ int CmdServe(const Flags& flags) {
     }
   }
   rtr::serve::ServiceStats stats = service->stats();
+  // Rejection reasons split out (not inferred from the aggregate), plus
+  // queue wait per predicted-cost class.
+  std::printf("\nadmission: accepted %llu, rejected %llu (queue overflow "
+              "%llu, predicted-deadline shed %llu, stopping %llu)\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.shed_overflow),
+              static_cast<unsigned long long>(stats.shed_predicted),
+              static_cast<unsigned long long>(stats.rejected -
+                                              stats.shed_overflow -
+                                              stats.shed_predicted));
+  for (size_t c = 0; c < rtr::serve::kNumCostClasses; ++c) {
+    const auto& wait = stats.queue_wait[c];
+    if (wait.count == 0) continue;
+    std::printf("queue wait [%s]: %llu queries, mean %.3fms, p99 %.3fms\n",
+                rtr::serve::CostClassName(
+                    static_cast<rtr::serve::CostClass>(c)),
+                static_cast<unsigned long long>(wait.count),
+                wait.mean_millis, wait.p99_millis);
+  }
+  if (options.scheduler.enabled && stats.batches > 0) {
+    std::printf("scheduler: %llu batches, %llu batched queries "
+                "(occupancy %.2f), %llu widened-epsilon queries\n",
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.batched_queries),
+                static_cast<double>(stats.batched_queries) /
+                    static_cast<double>(stats.batches),
+                static_cast<unsigned long long>(stats.eps_widened));
+  }
   std::printf("\nmetrics (exposition; field-for-field the final "
               "--metrics-out dump):\n");
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);
@@ -862,6 +996,12 @@ void PrintUsage(std::FILE* out) {
                "<out.rtrsnap>\n"
                "       rtr serve --graph <snapshot> [--mmap]  (zero-copy "
                "mapped load)\n"
+               "       rtr serve --scheduler [--batch 8] [--deadline-ms D]\n"
+               "                 [--eps-band MAX] [--replay stream.rtrq]\n"
+               "                                (cost-model admission: "
+               "batching, deadline\n"
+               "                                 shedding, adaptive "
+               "epsilon)\n"
                "see the header of tools/rtr_cli.cc for details\n");
 }
 
