@@ -19,10 +19,13 @@
 #include <thread>
 #include <vector>
 
+#include "dist/distributed_topk.h"
 #include "eval/experiment.h"
 #include "graph/builder.h"
 #include "graph/delta.h"
 #include "graph/store.h"
+#include "net/gp_server.h"
+#include "net/remote_gp.h"
 #include "serve/query_service.h"
 #include "snapshot_experiment.h"
 
@@ -206,6 +209,96 @@ void RunIngestionExperiment(int num_queries, int num_workers) {
               static_cast<unsigned long long>(ingest_phase.swaps));
 }
 
+// --------------------------------------------------------------------------
+// AP<->GP traffic: simulated record bytes vs actual wire bytes.
+// --------------------------------------------------------------------------
+
+// The paper's Sect. V-B cost model counts record bytes shipped from GPs to
+// the AP. The networked tier ships those same records in checksummed frames
+// over TCP, so the wire adds a measurable framing overhead. This experiment
+// runs one query stream twice — over the in-process loopback cluster and
+// over real gp-serve shards on localhost — and reports both ledgers side by
+// side. The record-level columns must match exactly (the wire is invisible
+// to the cost model); the wire column shows what the network really moved.
+void RunWireTrafficExperiment(int num_queries, int num_gps) {
+  std::printf("\n(d) AP<->GP traffic — simulated record bytes vs actual "
+              "wire bytes (%d queries, %d GPs)\n",
+              num_queries, num_gps);
+  rtr::datasets::BibNet bibnet = rtr::bench::MakeFullBibNet();
+  auto graph = std::make_shared<const Graph>(bibnet.graph());
+
+  std::vector<std::unique_ptr<rtr::net::GpServer>> servers;
+  std::vector<std::string> endpoints;
+  for (int shard = 0; shard < num_gps; ++shard) {
+    auto server = rtr::net::GpServer::Start(graph, shard, num_gps, 0);
+    CHECK(server.ok()) << server.status().ToString();
+    endpoints.push_back("127.0.0.1:" +
+                        std::to_string((*server)->port()));
+    servers.push_back(std::move(*server));
+  }
+  auto remote = rtr::net::ConnectRemoteCluster(graph, 0, endpoints);
+  CHECK(remote.ok()) << remote.status().ToString();
+  rtr::dist::Cluster loopback(graph, num_gps);
+
+  rtr::Rng rng(1300);
+  std::vector<NodeId> stream;
+  for (int i = 0; i < num_queries; ++i) {
+    stream.push_back(rtr::bench::SampleQueryNode(*graph, rng));
+  }
+  rtr::core::TopKParams params;
+  params.k = 10;
+  params.epsilon = 0.01;
+
+  rtr::core::QueryWorkspace workspace;
+  double loopback_ms = 0.0;
+  double remote_ms = 0.0;
+  for (NodeId q : stream) {
+    rtr::WallTimer timer;
+    CHECK(rtr::dist::DistributedTopK(loopback, {q}, params, &workspace).ok());
+    loopback_ms += timer.ElapsedMillis();
+    timer = rtr::WallTimer();
+    CHECK(rtr::dist::DistributedTopK(**remote, {q}, params, &workspace).ok());
+    remote_ms += timer.ElapsedMillis();
+  }
+
+  TablePrinter table({"GP", "fetches", "records", "simulated B",
+                      "wire B (rx)", "wire/simulated", "frames", "retries"});
+  uint64_t simulated_total = 0;
+  for (int gp = 0; gp < num_gps; ++gp) {
+    CHECK_EQ((*remote)->records_served(gp), loopback.records_served(gp));
+    CHECK_EQ((*remote)->bytes_served(gp), loopback.bytes_served(gp));
+    const uint64_t simulated = (*remote)->bytes_served(gp);
+    simulated_total += simulated;
+    rtr::dist::WireTraffic wire = (*remote)->wire(gp);
+    table.AddRow(
+        {std::to_string(gp), std::to_string((*remote)->fetch_requests(gp)),
+         std::to_string((*remote)->records_served(gp)),
+         std::to_string(simulated), std::to_string(wire.bytes_received),
+         TablePrinter::FormatDouble(
+             simulated > 0
+                 ? static_cast<double>(wire.bytes_received) / simulated
+                 : 0.0,
+             3),
+         std::to_string(wire.frames_received),
+         std::to_string(wire.retries)});
+  }
+  table.Print();
+  rtr::dist::WireTraffic wire = (*remote)->total_wire();
+  std::printf("  totals: simulated %llu B, wire rx %llu B (x%.3f of the "
+              "simulated ledger), wire tx %llu B\n",
+              static_cast<unsigned long long>(simulated_total),
+              static_cast<unsigned long long>(wire.bytes_received),
+              simulated_total > 0
+                  ? static_cast<double>(wire.bytes_received) / simulated_total
+                  : 0.0,
+              static_cast<unsigned long long>(wire.bytes_sent));
+  std::printf("  latency: loopback %.2f ms/query, localhost TCP %.2f "
+              "ms/query (x%.2f)\n",
+              loopback_ms / num_queries, remote_ms / num_queries,
+              loopback_ms > 0 ? remote_ms / loopback_ms : 0.0);
+  for (std::unique_ptr<rtr::net::GpServer>& server : servers) server->Stop();
+}
+
 }  // namespace
 
 int main() {
@@ -223,5 +316,7 @@ int main() {
 
   RunIngestionExperiment(rtr::bench::EnvInt("RTR_INGEST_QUERIES", 200),
                          rtr::bench::EnvInt("RTR_INGEST_WORKERS", 4));
+  RunWireTrafficExperiment(rtr::bench::EnvInt("RTR_NET_QUERIES", 40),
+                           rtr::bench::EnvInt("RTR_NET_GPS", 3));
   return 0;
 }

@@ -92,21 +92,47 @@ Cluster::Cluster(std::shared_ptr<const Graph> graph, int num_gps,
   }
 }
 
+Cluster::Cluster(std::shared_ptr<const Graph> graph,
+                 std::vector<std::unique_ptr<RecordSource>> sources,
+                 uint64_t generation)
+    : graph_(std::move(graph)),
+      generation_(generation),
+      sources_(std::move(sources)) {
+  CHECK(graph_ != nullptr) << "a cluster needs a graph";
+  CHECK_GE(sources_.size(), 1u) << "a remote cluster needs record sources";
+  for (const std::unique_ptr<RecordSource>& source : sources_) {
+    CHECK(source != nullptr) << "remote cluster sources must be non-null";
+  }
+}
+
+const RecordSource& Cluster::source(int gp) const {
+  CHECK_GE(gp, 0);
+  CHECK_LT(gp, num_gps());
+  if (remote()) return *sources_[static_cast<size_t>(gp)];
+  return gps_[static_cast<size_t>(gp)];
+}
+
 uint64_t Cluster::total_fetch_requests() const {
   uint64_t total = 0;
-  for (const GraphProcessor& gp : gps_) total += gp.fetch_requests();
+  for (int gp = 0; gp < num_gps(); ++gp) total += fetch_requests(gp);
   return total;
 }
 
 uint64_t Cluster::total_records_served() const {
   uint64_t total = 0;
-  for (const GraphProcessor& gp : gps_) total += gp.records_served();
+  for (int gp = 0; gp < num_gps(); ++gp) total += records_served(gp);
   return total;
 }
 
 uint64_t Cluster::total_bytes_served() const {
   uint64_t total = 0;
-  for (const GraphProcessor& gp : gps_) total += gp.bytes_served();
+  for (int gp = 0; gp < num_gps(); ++gp) total += bytes_served(gp);
+  return total;
+}
+
+WireTraffic Cluster::total_wire() const {
+  WireTraffic total;
+  for (int gp = 0; gp < num_gps(); ++gp) total += wire(gp);
   return total;
 }
 
@@ -166,7 +192,8 @@ StatusOr<DistributedTopKResult> DistributedTopK(
   if (!local.ok()) return local.status();
 
   // Replay the active set as batched per-GP fetches.
-  std::vector<std::vector<NodeId>> per_gp(cluster.gps().size());
+  std::vector<std::vector<NodeId>> per_gp(
+      static_cast<size_t>(cluster.num_gps()));
   for (NodeId v : local->active_node_ids) {
     per_gp[static_cast<size_t>(cluster.OwnerOf(v))].push_back(v);
   }
@@ -182,7 +209,8 @@ StatusOr<DistributedTopKResult> DistributedTopK(
       size_t end = std::min(begin + kMaxRecordsPerRequest, wanted.size());
       batch.assign(wanted.begin() + begin, wanted.begin() + end);
       size_t before = active_records.size();
-      RTR_RETURN_IF_ERROR(cluster.gps()[gp].Fetch(batch, &active_records));
+      RTR_RETURN_IF_ERROR(
+          cluster.source(static_cast<int>(gp)).Fetch(batch, &active_records));
       ++result.requests_sent;
       if (active_records.size() - before != batch.size()) {
         return Status::Internal("GP " + std::to_string(gp) + " served " +

@@ -54,6 +54,62 @@ struct NodeRecord {
   }
 };
 
+// Wire-level traffic actually put on (or read off) a socket by a networked
+// record source, as opposed to the simulated record-byte accounting of
+// NodeRecord::WireBytes. All zero for in-process sources: the loopback
+// Cluster moves no wire bytes, which is exactly what the Sect. V-B traffic
+// tables should show for it (bench_fig13_growth reports both columns).
+struct WireTraffic {
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t retries = 0;     // re-sent attempts after timeout/transport loss
+  uint64_t reconnects = 0;  // connection (re-)establishments
+  uint64_t timeouts = 0;    // attempts abandoned at the per-request timeout
+  uint64_t sheds = 0;       // fetches refused by per-peer backpressure
+
+  WireTraffic& operator+=(const WireTraffic& other) {
+    frames_sent += other.frames_sent;
+    frames_received += other.frames_received;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    retries += other.retries;
+    reconnects += other.reconnects;
+    timeouts += other.timeouts;
+    sheds += other.sheds;
+    return *this;
+  }
+};
+
+// The record-fetch contract an Aggregation Processor consumes: one batched
+// request in, one NodeRecord per requested node out, in request order.
+// Implemented in-process by GraphProcessor (the loopback tier) and over TCP
+// by net::RemoteGraphProcessor (the networked tier) — DistributedTopK only
+// ever talks to this interface, so the two tiers are interchangeable under
+// the same stripe layout.
+//
+// Thread safety: implementations must allow concurrent Fetch calls (the
+// serving layer issues fetches from several worker threads).
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  // Serves one batched request: appends a record per requested node to
+  // `out`, in request order. Every node must be owned by this source's
+  // shard.
+  virtual Status Fetch(const std::vector<NodeId>& nodes,
+                       std::vector<NodeRecord>* out) const = 0;
+
+  // Cumulative record-level traffic served through this source.
+  virtual uint64_t fetch_requests() const = 0;
+  virtual uint64_t records_served() const = 0;
+  virtual uint64_t bytes_served() const = 0;
+
+  // Cumulative wire-level traffic; all-zero for in-process sources.
+  virtual WireTraffic wire() const { return WireTraffic{}; }
+};
+
 // Relaxed traffic counter that copies/moves by value snapshot, so the
 // structs holding one stay MoveInsertable (Cluster builds its GPs inside a
 // vector). Safe because GPs only move during single-threaded cluster
@@ -84,7 +140,7 @@ class ShardCounter {
 // Fetch and the accessors are const and may be called concurrently (the
 // serving layer issues fetches from several worker threads against one
 // cluster).
-class GraphProcessor {
+class GraphProcessor : public RecordSource {
  public:
   // Builds the stripe of `g` owned by processor `id` out of `num_gps`.
   GraphProcessor(const Graph& g, int id, int num_gps);
@@ -101,15 +157,15 @@ class GraphProcessor {
   // Serves one batched request: appends a record per requested node to
   // `out`. Every node in `nodes` must be owned by this GP.
   Status Fetch(const std::vector<NodeId>& nodes,
-               std::vector<NodeRecord>* out) const;
+               std::vector<NodeRecord>* out) const override;
 
   // Cumulative traffic served by this GP since construction (the per-shard
-  // series the future RPC tier's backpressure will read). A serving layer
-  // that restripes per generation must accumulate these before dropping
-  // the cluster (serve::QueryService does).
-  uint64_t fetch_requests() const { return fetch_requests_.value(); }
-  uint64_t records_served() const { return records_served_.value(); }
-  uint64_t bytes_served() const { return bytes_served_.value(); }
+  // series net-tier backpressure and the serve metrics read). A serving
+  // layer that restripes per generation must accumulate these before
+  // dropping the cluster (serve::QueryService does).
+  uint64_t fetch_requests() const override { return fetch_requests_.value(); }
+  uint64_t records_served() const override { return records_served_.value(); }
+  uint64_t bytes_served() const override { return bytes_served_.value(); }
 
  private:
   int id_ = 0;
@@ -150,6 +206,15 @@ class Cluster {
   Cluster(std::shared_ptr<const Graph> graph, int num_gps,
           uint64_t generation = 0);
 
+  // Remote cluster: the AP-side graph plus one RecordSource per shard
+  // (shard i must serve stripe i of sources.size() — e.g. a
+  // net::RemoteGraphProcessor whose handshake verified exactly that).
+  // gps() is empty in this mode; everything else (OwnerOf, the traffic
+  // accessors, DistributedTopK) works unchanged through source().
+  Cluster(std::shared_ptr<const Graph> graph,
+          std::vector<std::unique_ptr<RecordSource>> sources,
+          uint64_t generation = 0);
+
   // Shard bring-up from a saved graph: loads `path` (binary snapshot or
   // text, auto-detected by magic — see graph/snapshot.h) and stripes it
   // across num_gps processors; the generation id comes from the snapshot
@@ -160,28 +225,46 @@ class Cluster {
       const std::string& path, int num_gps,
       MapMode map_mode = MapMode::kAuto);
 
-  int num_gps() const { return static_cast<int>(gps_.size()); }
+  int num_gps() const {
+    return static_cast<int>(remote() ? sources_.size() : gps_.size());
+  }
+  // True when the shards are served over the wire (remote-source mode).
+  bool remote() const { return !sources_.empty(); }
+  // In-process shards; empty for a remote cluster.
   const std::vector<GraphProcessor>& gps() const { return gps_; }
+  // The record source for shard `gp`, local or remote.
+  const RecordSource& source(int gp) const;
   const Graph& graph() const { return *graph_; }
   const std::shared_ptr<const Graph>& graph_ptr() const { return graph_; }
   // Generation of the striped graph (graph/store.h).
   uint64_t generation() const { return generation_; }
 
   // GP owning node v.
-  int OwnerOf(NodeId v) const { return static_cast<int>(v % gps_.size()); }
+  int OwnerOf(NodeId v) const {
+    return static_cast<int>(v % static_cast<NodeId>(num_gps()));
+  }
 
-  // Sum of all GPs' stored bytes — the cluster-wide snapshot size.
+  // Sum of all GPs' stored bytes — the cluster-wide snapshot size (0 for a
+  // remote cluster: the stripes live in the serving processes).
   size_t total_stored_bytes() const { return total_stored_bytes_; }
 
-  // Cluster-wide traffic since construction (sums the per-GP counters).
+  // Per-shard and cluster-wide traffic since construction, uniform across
+  // local and remote sources (serve::QueryService's rtr_dist_* callbacks
+  // read these).
+  uint64_t fetch_requests(int gp) const { return source(gp).fetch_requests(); }
+  uint64_t records_served(int gp) const { return source(gp).records_served(); }
+  uint64_t bytes_served(int gp) const { return source(gp).bytes_served(); }
+  WireTraffic wire(int gp) const { return source(gp).wire(); }
   uint64_t total_fetch_requests() const;
   uint64_t total_records_served() const;
   uint64_t total_bytes_served() const;
+  WireTraffic total_wire() const;
 
  private:
   std::shared_ptr<const Graph> graph_;
   uint64_t generation_ = 0;
-  std::vector<GraphProcessor> gps_;
+  std::vector<GraphProcessor> gps_;                     // loopback mode
+  std::vector<std::unique_ptr<RecordSource>> sources_;  // remote mode
   size_t total_stored_bytes_ = 0;
 };
 

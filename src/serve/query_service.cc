@@ -164,22 +164,48 @@ void QueryService::RegisterMetrics() {
   for (int gp = 0; gp < num_gps; ++gp) {
     const obs::Labels gp_labels = {{"gp", std::to_string(gp)}};
     const size_t g = static_cast<size_t>(gp);
+    const int gp_index = gp;
     registrations_.push_back(registry.RegisterCallbackCounter(
-        "rtr_dist_fetch_requests_total", gp_labels, [this, g] {
+        "rtr_dist_fetch_requests_total", gp_labels, [this, g, gp_index] {
           std::lock_guard<std::mutex> lock(cluster_mu_);
           return dist_retired_requests_[g] +
-                 cluster_->gps()[g].fetch_requests();
+                 cluster_->fetch_requests(gp_index);
         }));
     registrations_.push_back(registry.RegisterCallbackCounter(
-        "rtr_dist_records_served_total", gp_labels, [this, g] {
+        "rtr_dist_records_served_total", gp_labels, [this, g, gp_index] {
           std::lock_guard<std::mutex> lock(cluster_mu_);
           return dist_retired_records_[g] +
-                 cluster_->gps()[g].records_served();
+                 cluster_->records_served(gp_index);
         }));
     registrations_.push_back(registry.RegisterCallbackCounter(
-        "rtr_dist_bytes_served_total", gp_labels, [this, g] {
+        "rtr_dist_bytes_served_total", gp_labels, [this, g, gp_index] {
           std::lock_guard<std::mutex> lock(cluster_mu_);
-          return dist_retired_bytes_[g] + cluster_->gps()[g].bytes_served();
+          return dist_retired_bytes_[g] + cluster_->bytes_served(gp_index);
+        }));
+  }
+  if (!cluster_->remote()) return;
+  // Networked tier only: wire-level traffic summed over all GP peers. The
+  // cluster (and its remote sources) is fixed for the service's lifetime in
+  // this mode, so no retired-counter fold is needed.
+  struct WireField {
+    const char* name;
+    uint64_t dist::WireTraffic::* field;
+  };
+  static constexpr WireField kWireFields[] = {
+      {"rtr_net_frames_sent_total", &dist::WireTraffic::frames_sent},
+      {"rtr_net_frames_received_total", &dist::WireTraffic::frames_received},
+      {"rtr_net_bytes_sent_total", &dist::WireTraffic::bytes_sent},
+      {"rtr_net_bytes_received_total", &dist::WireTraffic::bytes_received},
+      {"rtr_net_retries_total", &dist::WireTraffic::retries},
+      {"rtr_net_reconnects_total", &dist::WireTraffic::reconnects},
+      {"rtr_net_timeouts_total", &dist::WireTraffic::timeouts},
+      {"rtr_net_sheds_total", &dist::WireTraffic::sheds},
+  };
+  for (const WireField& wf : kWireFields) {
+    registrations_.push_back(registry.RegisterCallbackCounter(
+        wf.name, labels, [this, field = wf.field] {
+          std::lock_guard<std::mutex> lock(cluster_mu_);
+          return cluster_->total_wire().*field;
         }));
   }
 }
@@ -554,11 +580,11 @@ PinnedGraph QueryService::PinForQuery(
   if (cluster_->generation() < pinned.generation) {
     // Fold the retired cluster's traffic into the retained totals so the
     // per-GP callback counters stay monotone across restripes.
-    for (size_t g = 0; g < cluster_->gps().size(); ++g) {
-      const dist::GraphProcessor& gp = cluster_->gps()[g];
-      dist_retired_requests_[g] += gp.fetch_requests();
-      dist_retired_records_[g] += gp.records_served();
-      dist_retired_bytes_[g] += gp.bytes_served();
+    for (int gp = 0; gp < cluster_->num_gps(); ++gp) {
+      const size_t g = static_cast<size_t>(gp);
+      dist_retired_requests_[g] += cluster_->fetch_requests(gp);
+      dist_retired_records_[g] += cluster_->records_served(gp);
+      dist_retired_bytes_[g] += cluster_->bytes_served(gp);
     }
     LOG(INFO) << "restriping generation " << pinned.generation << " across "
               << num_gps_ << " graph processors";

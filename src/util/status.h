@@ -24,6 +24,9 @@ enum class StatusCode {
   // Transient refusal: the operation may succeed if retried later (e.g., a
   // serving admission queue at capacity, a service shutting down).
   kUnavailable = 8,
+  // A bounded wait expired before the operation finished (e.g., an RPC
+  // attempt ran past its per-request timeout budget).
+  kDeadlineExceeded = 9,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -66,6 +69,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -63,6 +63,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -84,6 +85,8 @@
 #include "graph/io.h"
 #include "graph/snapshot.h"
 #include "graph/store.h"
+#include "net/gp_server.h"
+#include "net/remote_gp.h"
 #include "obs/metrics.h"
 #include "ranking/combinators.h"
 #include "ranking/pagerank.h"
@@ -637,7 +640,25 @@ int CmdServe(const Flags& flags) {
   rtr::serve::ServiceOptions options;
   options.num_workers = flags.GetInt("workers", 4);
   int queue_capacity = flags.GetInt("queue", 256);
-  int num_gps = flags.GetInt("gps", 4);
+  // --gps is dual-purpose: an integer stripes the graph across in-process
+  // GPs (backend dist); a host:port,... list fronts remote gp-serve shards
+  // (backend remote).
+  std::vector<std::string> gp_endpoints;
+  const std::string gps_flag = flags.GetString("gps", "");
+  if (gps_flag.find(':') != std::string::npos) {
+    size_t begin = 0;
+    while (begin < gps_flag.size()) {
+      size_t comma = gps_flag.find(',', begin);
+      if (comma == std::string::npos) comma = gps_flag.size();
+      if (comma > begin) {
+        gp_endpoints.push_back(gps_flag.substr(begin, comma - begin));
+      }
+      begin = comma + 1;
+    }
+  }
+  int num_gps = gp_endpoints.empty()
+                    ? flags.GetInt("gps", 4)
+                    : static_cast<int>(gp_endpoints.size());
   int cache_capacity = flags.GetInt("cache-capacity", 1024);
   if (options.num_workers < 1 || queue_capacity < 1 || num_gps < 1 ||
       cache_capacity < 1) {
@@ -791,16 +812,45 @@ int CmdServe(const Flags& flags) {
     }
   }
 
-  std::string backend = flags.GetString("backend", "local");
+  std::string backend = flags.GetString(
+      "backend", gp_endpoints.empty() ? "local" : "remote");
   auto store = std::make_shared<rtr::GraphStore>(graph_sp, generation);
   std::unique_ptr<rtr::serve::QueryService> service;
+  // Kept past service construction so the end-of-run wire summary can read
+  // the remote sources' traffic.
+  std::shared_ptr<const rtr::dist::Cluster> remote_cluster;
   if (backend == "local") {
     service = std::make_unique<rtr::serve::QueryService>(store, options);
   } else if (backend == "dist") {
     service =
         std::make_unique<rtr::serve::QueryService>(store, num_gps, options);
+  } else if (backend == "remote") {
+    if (gp_endpoints.empty()) {
+      std::fprintf(stderr,
+                   "backend remote needs --gps host:port[,host:port...]\n");
+      return 2;
+    }
+    if (!delta_paths.empty()) {
+      std::fprintf(stderr,
+                   "--delta needs an in-process backend; remote gp-serve "
+                   "shards are pinned to one generation\n");
+      return 2;
+    }
+    rtr::StatusOr<std::unique_ptr<rtr::dist::Cluster>> connected =
+        rtr::net::ConnectRemoteCluster(graph_sp, generation, gp_endpoints);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot front remote cluster: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    remote_cluster = std::move(*connected);
+    for (const std::string& endpoint : gp_endpoints) {
+      std::printf("  [gp] connected to %s\n", endpoint.c_str());
+    }
+    service = std::make_unique<rtr::serve::QueryService>(remote_cluster,
+                                                         options);
   } else {
-    std::fprintf(stderr, "unknown backend '%s' (local|dist)\n",
+    std::fprintf(stderr, "unknown backend '%s' (local|dist|remote)\n",
                  backend.c_str());
     return 2;
   }
@@ -966,6 +1016,20 @@ int CmdServe(const Flags& flags) {
                     static_cast<double>(stats.batches),
                 static_cast<unsigned long long>(stats.eps_widened));
   }
+  if (remote_cluster != nullptr) {
+    const rtr::dist::WireTraffic w = remote_cluster->total_wire();
+    std::printf("net: sent %llu frames / %llu bytes, received %llu frames / "
+                "%llu bytes, %llu retries, %llu reconnects, %llu timeouts, "
+                "%llu sheds\n",
+                static_cast<unsigned long long>(w.frames_sent),
+                static_cast<unsigned long long>(w.bytes_sent),
+                static_cast<unsigned long long>(w.frames_received),
+                static_cast<unsigned long long>(w.bytes_received),
+                static_cast<unsigned long long>(w.retries),
+                static_cast<unsigned long long>(w.reconnects),
+                static_cast<unsigned long long>(w.timeouts),
+                static_cast<unsigned long long>(w.sheds));
+  }
   std::printf("\nmetrics (exposition; field-for-field the final "
               "--metrics-out dump):\n");
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);
@@ -980,10 +1044,82 @@ int CmdServe(const Flags& flags) {
   return done_count.load() == accepted ? 0 : 1;
 }
 
+// gp-serve shutdown flag, set by SIGTERM/SIGINT so the shard can stop its
+// listener, join its connection handlers, and exit 0 (the CLI net test
+// asserts exactly this).
+volatile std::sig_atomic_t g_gp_serve_signal = 0;
+
+void GpServeSignalHandler(int signum) { g_gp_serve_signal = signum; }
+
+// Hosts one GraphProcessor shard over TCP: `rtr gp-serve --graph g.rtrsnap
+// --shard k/N [--port P]`. Prints the bound port (supports --port 0) and
+// serves until SIGTERM/SIGINT.
+int CmdGpServe(const Flags& flags) {
+  const std::string shard_spec = flags.GetString("shard", "");
+  int shard = -1;
+  int num_gps = 0;
+  if (std::sscanf(shard_spec.c_str(), "%d/%d", &shard, &num_gps) != 2 ||
+      shard < 0 || num_gps < 1 || shard >= num_gps) {
+    std::fprintf(stderr, "--shard must be k/N with 0 <= k < N, got '%s'\n",
+                 shard_spec.c_str());
+    return 2;
+  }
+  int port = flags.GetInt("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n");
+    return 2;
+  }
+  uint64_t generation = 0;
+  const rtr::MapMode map_mode =
+      flags.GetBool("mmap") ? rtr::MapMode::kPrefer : rtr::MapMode::kAuto;
+  rtr::StatusOr<Graph> loaded = rtr::LoadGraphAuto(
+      flags.GetString("graph", ""), &generation, map_mode);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = std::make_shared<const Graph>(std::move(loaded).value());
+
+  rtr::net::GpServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  rtr::StatusOr<std::unique_ptr<rtr::net::GpServer>> server =
+      rtr::net::GpServer::Start(graph, shard, num_gps, generation, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start gp server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  auto registrations =
+      (*server)->RegisterMetrics(&rtr::obs::MetricsRegistry::Default());
+
+  std::signal(SIGTERM, GpServeSignalHandler);
+  std::signal(SIGINT, GpServeSignalHandler);
+  std::printf("gp-serve shard %d/%d listening on port %u (%zu/%zu nodes, "
+              "generation %llu)\n",
+              shard, num_gps, (*server)->port(),
+              (*server)->gp().num_owned_nodes(), graph->num_nodes(),
+              static_cast<unsigned long long>(generation));
+  std::fflush(stdout);  // scripts grep the port line before connecting
+
+  while (g_gp_serve_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->Stop();
+  std::printf("gp-serve shard %d/%d: clean shutdown (signal %d; served "
+              "%llu fetches / %llu records over %llu connections)\n",
+              shard, num_gps, static_cast<int>(g_gp_serve_signal),
+              static_cast<unsigned long long>((*server)->gp().fetch_requests()),
+              static_cast<unsigned long long>((*server)->gp().records_served()),
+              static_cast<unsigned long long>(
+                  (*server)->connections_accepted()));
+  return 0;
+}
+
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: rtr <generate|convert|info|diff|apply-delta|rank|"
-               "topk|serve> [--flag value ...]\n"
+               "topk|serve|gp-serve> [--flag value ...]\n"
                "       rtr convert <in> <out> [--probs=f32]\n"
                "                                (text <-> binary snapshot, "
                "auto-detected;\n"
@@ -1002,6 +1138,17 @@ void PrintUsage(std::FILE* out) {
                "batching, deadline\n"
                "                                 shedding, adaptive "
                "epsilon)\n"
+               "       rtr gp-serve --graph <snapshot> --shard k/N "
+               "[--port P]\n"
+               "                                (host one graph-processor "
+               "shard over TCP;\n"
+               "                                 --port 0 picks a free port, "
+               "printed on stdout)\n"
+               "       rtr serve --graph <snapshot> --gps "
+               "host:port[,host:port...]\n"
+               "                                (front remote gp-serve "
+               "shards instead of\n"
+               "                                 in-process GPs)\n"
                "see the header of tools/rtr_cli.cc for details\n");
 }
 
@@ -1037,6 +1184,7 @@ int main(int argc, char** argv) {
   if (command == "rank") return CmdRank(flags);
   if (command == "topk") return CmdTopK(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "gp-serve") return CmdGpServe(flags);
   PrintUsage(stderr);
   return 2;
 }
